@@ -1,0 +1,24 @@
+"""Benchmark-harness configuration.
+
+Each ``test_*`` file regenerates one exhibit of the paper under
+pytest-benchmark, printing the regenerated rows/series so a run of
+``pytest benchmarks/ --benchmark-only`` reproduces the full evaluation.
+``--repro-scale`` shrinks iteration counts for quick runs.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        type=float,
+        default=1.0,
+        help="Iteration-count multiplier for experiment runs (default 1.0)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--repro-scale")

@@ -1,0 +1,24 @@
+"""Figure 10: effect of a 4-CPU-cycle bus on the design points.
+
+Paper shape: tight loops (adpcmdec, wc, epicdec) hurt most; the BUS
+component grows even for the memory-intensive mcf/equake (line transfers
+take 32 CPU cycles, backing up arbitration).
+"""
+
+from repro.harness.experiments import figure7, figure10
+
+
+def test_figure10(benchmark, scale):
+    slow = benchmark.pedantic(figure10, args=(scale,), iterations=1, rounds=1)
+    print("\n" + slow.text)
+    base = figure7(scale)
+    # The EXISTING/HEAVYWT gap does not shrink with a slower bus.
+    assert slow.data["geomean"]["EXISTING"] >= base.data["geomean"]["EXISTING"] * 0.9
+    # BUS components grow for the memory-backed design points.
+    slow_bus = sum(
+        bars["BUS"] for key, bars in slow.data["bars"].items() if "EXISTING" in key
+    )
+    base_bus = sum(
+        bars["BUS"] for key, bars in base.data["bars"].items() if "EXISTING" in key
+    )
+    assert slow_bus > base_bus

@@ -1,0 +1,16 @@
+"""Figure 11: a 128-byte-wide bus at 4-cycle latency.
+
+Paper shape: matching the bus width to the line size removes the
+arbitration backlog of Figure 10 — BUS components shrink substantially.
+"""
+
+from repro.harness.experiments import figure10, figure11
+
+
+def test_figure11(benchmark, scale):
+    wide = benchmark.pedantic(figure11, args=(scale,), iterations=1, rounds=1)
+    print("\n" + wide.text)
+    narrow = figure10(scale)
+    wide_bus = sum(bars["BUS"] for bars in wide.data["bars"].values())
+    narrow_bus = sum(bars["BUS"] for bars in narrow.data["bars"].values())
+    assert wide_bus < narrow_bus  # bandwidth relieves contention

@@ -1,0 +1,18 @@
+"""Figure 7: normalized execution times for each design point.
+
+Paper shape: HEAVYWT < SYNCOPTI < {EXISTING, MEMOPTI}; SYNCOPTI ~1.6x
+faster than software queues and ~31% behind HEAVYWT on average.
+"""
+
+from repro.harness.experiments import figure7
+
+
+def test_figure7(benchmark, scale):
+    result = benchmark.pedantic(figure7, args=(scale,), iterations=1, rounds=1)
+    print("\n" + result.text)
+    gms = result.data["geomean"]
+    assert gms["HEAVYWT"] == 1.0
+    assert 1.1 < gms["SYNCOPTI"] < 2.2        # paper: 1.31
+    assert gms["EXISTING"] > gms["SYNCOPTI"]  # paper: 1.6x apart
+    assert gms["EXISTING"] / gms["SYNCOPTI"] > 1.3
+    assert gms["MEMOPTI"] >= gms["EXISTING"] * 0.95  # MEMOPTI no better

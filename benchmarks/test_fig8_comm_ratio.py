@@ -1,0 +1,17 @@
+"""Figure 8: dynamic communication to application instruction ratios.
+
+Paper shape: one communication per 5-20 dynamic application instructions;
+wc is the extreme (three consumes per very tight iteration).
+"""
+
+from repro.harness.experiments import figure8
+
+
+def test_figure8(benchmark, scale):
+    result = benchmark.pedantic(figure8, args=(scale,), iterations=1, rounds=1)
+    print("\n" + result.text)
+    ratios = result.data["ratios"]
+    for bench, r in ratios.items():
+        assert 0.03 <= r["producer"] <= 0.8, bench
+        assert 0.03 <= r["consumer"] <= 0.8, bench
+    assert ratios["wc"]["producer"] == max(r["producer"] for r in ratios.values())

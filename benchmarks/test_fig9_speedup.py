@@ -1,0 +1,14 @@
+"""Figure 9: speedup of HEAVYWT-optimized loops over single-threaded.
+
+Paper shape: all benchmarks speed up; geomean ~1.29x — so mechanisms with
+high COMM-OP delay can erase parallelization gains entirely.
+"""
+
+from repro.harness.experiments import figure9
+
+
+def test_figure9(benchmark, scale):
+    result = benchmark.pedantic(figure9, args=(scale,), iterations=1, rounds=1)
+    print("\n" + result.text)
+    assert result.data["geomean"] > 1.05  # paper: 1.29
+    assert all(s > 0.85 for s in result.data["speedups"].values())

@@ -1,0 +1,9 @@
+"""Table 1: benchmark loop information."""
+
+from repro.harness.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark(table1)
+    print("\n" + result.text)
+    assert len(result.data["rows"]) == 9

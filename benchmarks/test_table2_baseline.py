@@ -1,0 +1,9 @@
+"""Table 2: baseline simulator configuration."""
+
+from repro.harness.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark(table2)
+    print("\n" + result.text)
+    assert "Core" in result.data["parameters"]

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Design-space sweep: every benchmark x every design point.
+
+Reproduces the Figure 7 / Figure 12 comparison in one table: normalized
+execution time (HEAVYWT = 1.0) for all seven design points across the full
+benchmark suite, plus the geomean summary the paper quotes (SYNCOPTI ~1.6x
+over EXISTING; SC+Q64 ~2x over EXISTING).
+"""
+
+from repro import BENCHMARK_ORDER, geomean, get_design_point
+from repro.harness.runner import run_benchmark
+
+POINTS = (
+    "HEAVYWT",
+    "SYNCOPTI_SC_Q64",
+    "SYNCOPTI_SC",
+    "SYNCOPTI_Q64",
+    "SYNCOPTI",
+    "EXISTING",
+    "MEMOPTI",
+)
+
+TRIPS = {
+    "art": 300, "equake": 150, "mcf": 120, "bzip2": 320, "adpcmdec": 300,
+    "epicdec": 150, "wc": 400, "fir": 300, "fft2": 150,
+}
+
+
+def main() -> None:
+    header = f"{'benchmark':10s} " + " ".join(f"{p[:9]:>9s}" for p in POINTS)
+    print(header)
+    print("-" * len(header))
+    norm = {p: [] for p in POINTS}
+    for bench in BENCHMARK_ORDER:
+        cycles = {
+            p: run_benchmark(bench, p, TRIPS[bench]).cycles for p in POINTS
+        }
+        base = cycles["HEAVYWT"]
+        row = [cycles[p] / base for p in POINTS]
+        for p, v in zip(POINTS, row):
+            norm[p].append(v)
+        print(f"{bench:10s} " + " ".join(f"{v:9.2f}" for v in row))
+    print("-" * len(header))
+    gms = {p: geomean(norm[p]) for p in POINTS}
+    print(f"{'GeoMean':10s} " + " ".join(f"{gms[p]:9.2f}" for p in POINTS))
+
+    print(
+        f"\nSYNCOPTI speedup over EXISTING:        "
+        f"{gms['EXISTING'] / gms['SYNCOPTI']:.2f}x   (paper: ~1.6x)"
+    )
+    print(
+        f"SYNCOPTI_SC_Q64 speedup over EXISTING: "
+        f"{gms['EXISTING'] / gms['SYNCOPTI_SC_Q64']:.2f}x   (paper: ~2.0x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setuptools shim (offline environment lacks PEP 517 wheel support)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — reproduction of *Support for High-Frequency Streaming in CMPs*
+(Rangan, Vachharajani, Stoler, Ottoni, August, Cai — MICRO 2006).
+
+The package provides:
+
+* :mod:`repro.sim` — a simplified cycle-level dual-core CMP timing model
+  (in-order cores, co-simulation scheduler, stall-component accounting);
+* :mod:`repro.mem` — the coherent memory hierarchy (L1/L2/L3, snoop MESI,
+  split-transaction pipelined bus, OzQ, DRAM);
+* :mod:`repro.core` — the paper's contribution: the streaming-communication
+  design space (EXISTING software queues, MEMOPTI write-forwarding,
+  SYNCOPTI occupancy counters + stream cache, HEAVYWT dedicated hardware);
+* :mod:`repro.dswp` — a Decoupled Software Pipelining substrate (loop IR,
+  dependence graphs, SCC partitioning, code generation);
+* :mod:`repro.workloads` — the Table 1 benchmark suite rebuilt as
+  calibrated IR kernels;
+* :mod:`repro.harness` — one runnable experiment per table/figure.
+
+Quickstart::
+
+    from repro import Machine, baseline_config, build_pipelined
+
+    program = build_pipelined("wc", trip_count=500)
+    machine = Machine(baseline_config(), mechanism="syncopti_sc")
+    stats = machine.run(program)
+    print(stats.cycles, stats.consumer.components)
+"""
+
+from repro.core.design_points import (
+    DESIGN_POINTS,
+    DesignPoint,
+    get_design_point,
+    with_bus_latency,
+    with_bus_width,
+    with_queue_depth,
+    with_transit_delay,
+)
+from repro.core.mechanism import available_mechanisms, create_mechanism
+from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+from repro.harness.runner import RunResult, run_benchmark, run_single_threaded
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.machine import Machine, run_program
+from repro.sim.program import Program, ThreadProgram
+from repro.sim.stats import RunStats, ThreadStats, geomean
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    build_partition,
+    build_pipelined,
+    build_single_threaded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "DESIGN_POINTS",
+    "DesignPoint",
+    "ExperimentResult",
+    "Machine",
+    "MachineConfig",
+    "Program",
+    "RunResult",
+    "RunStats",
+    "ThreadProgram",
+    "ThreadStats",
+    "available_mechanisms",
+    "baseline_config",
+    "build_partition",
+    "build_pipelined",
+    "build_single_threaded",
+    "create_mechanism",
+    "geomean",
+    "get_design_point",
+    "run_all",
+    "run_benchmark",
+    "run_program",
+    "run_single_threaded",
+    "with_bus_latency",
+    "with_bus_width",
+    "with_queue_depth",
+    "with_transit_delay",
+]

@@ -1,0 +1,156 @@
+"""Named design points of the paper's evaluation (Sections 4 and 5).
+
+A design point is a (communication mechanism, machine-configuration delta)
+pair.  The four Section 4 points — EXISTING, MEMOPTI, SYNCOPTI, HEAVYWT —
+plus the three Section 5 SYNCOPTI optimizations — Q64, SC, SC+Q64 — are
+registered here, along with helpers to apply the sensitivity-study overrides
+of Figures 6, 10 and 11 (interconnect transit delay, bus latency, bus width,
+queue depth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.sim.config import MachineConfig, baseline_config
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A named point in the communication-support design space."""
+
+    name: str
+    mechanism: str
+    description: str
+    configure: Optional[Callable[[MachineConfig], None]] = None
+
+    def build_config(self, base: Optional[MachineConfig] = None) -> MachineConfig:
+        """Materialize this design point's machine configuration."""
+        config = (base or baseline_config()).copy()
+        if self.configure is not None:
+            self.configure(config)
+        return config.validate()
+
+
+def _q64(config: MachineConfig) -> None:
+    """64-entry queues with 16 packed 8-byte items per 128 B line (§5)."""
+    config.queues.depth = 64
+    config.queues.qlu = 16
+
+
+def _sc(config: MachineConfig) -> None:
+    config.stream_cache.enabled = True
+
+
+def _sc_q64(config: MachineConfig) -> None:
+    _q64(config)
+    _sc(config)
+
+
+DESIGN_POINTS: Dict[str, DesignPoint] = {
+    point.name: point
+    for point in (
+        DesignPoint(
+            name="EXISTING",
+            mechanism="existing",
+            description=(
+                "Commercial-CMP baseline: software queues over coherent "
+                "shared memory; ~10 instructions and a fence per comm op"
+            ),
+        ),
+        DesignPoint(
+            name="MEMOPTI",
+            mechanism="memopti",
+            description=(
+                "EXISTING plus write-forwarding of completed queue lines "
+                "to the consumer's L2 (never L1)"
+            ),
+        ),
+        DesignPoint(
+            name="SYNCOPTI",
+            mechanism="syncopti",
+            description=(
+                "produce/consume instructions, stream address logic, L2 "
+                "occupancy counters, locality-enhanced write-forwarding, "
+                "bulk ACKs; memory subsystem as backing store"
+            ),
+        ),
+        DesignPoint(
+            name="SYNCOPTI_Q64",
+            mechanism="syncopti",
+            description="SYNCOPTI with 64-entry queues and QLU 16",
+            configure=_q64,
+        ),
+        DesignPoint(
+            name="SYNCOPTI_SC",
+            mechanism="syncopti_sc",
+            description="SYNCOPTI with the 1 KB fully-associative stream cache",
+            configure=_sc,
+        ),
+        DesignPoint(
+            name="SYNCOPTI_SC_Q64",
+            mechanism="syncopti_sc",
+            description="SYNCOPTI with both the stream cache and Q64 (the paper's pick)",
+            configure=_sc_q64,
+        ),
+        DesignPoint(
+            name="HEAVYWT",
+            mechanism="heavywt",
+            description=(
+                "Dedicated distributed backing store at the consumer core "
+                "plus a dedicated pipelined interconnect (synchronization-"
+                "array / scalar-operand-network class)"
+            ),
+        ),
+    )
+}
+
+#: The Figure 7 evaluation order (left to right).
+FIGURE7_ORDER = ("HEAVYWT", "SYNCOPTI", "EXISTING", "MEMOPTI")
+
+#: The Figure 12 evaluation order (left to right).
+FIGURE12_ORDER = (
+    "HEAVYWT",
+    "SYNCOPTI_SC_Q64",
+    "SYNCOPTI_SC",
+    "SYNCOPTI_Q64",
+    "SYNCOPTI",
+)
+
+
+def get_design_point(name: str) -> DesignPoint:
+    try:
+        return DESIGN_POINTS[name]
+    except KeyError:
+        known = ", ".join(sorted(DESIGN_POINTS))
+        raise KeyError(f"unknown design point {name!r}; known: {known}") from None
+
+
+def with_transit_delay(config: MachineConfig, cycles: int) -> MachineConfig:
+    """Figure 6 override: HEAVYWT dedicated-interconnect end-to-end latency."""
+    out = config.copy()
+    out.dedicated = dataclasses.replace(out.dedicated, transit_delay=cycles)
+    return out.validate()
+
+
+def with_queue_depth(config: MachineConfig, depth: int) -> MachineConfig:
+    """Figure 6 override: queue entries (32 vs 64)."""
+    out = config.copy()
+    out.queues = dataclasses.replace(out.queues, depth=depth)
+    return out.validate()
+
+
+def with_bus_latency(config: MachineConfig, cpu_cycles: int) -> MachineConfig:
+    """Figure 10 override: CPU cycles per bus cycle."""
+    out = config.copy()
+    out.bus = dataclasses.replace(out.bus, cycle_latency=cpu_cycles)
+    return out.validate()
+
+
+def with_bus_width(config: MachineConfig, width_bytes: int) -> MachineConfig:
+    """Figure 11 override: bus width in bytes."""
+    out = config.copy()
+    out.bus = dataclasses.replace(out.bus, width_bytes=width_bytes)
+    return out.validate()

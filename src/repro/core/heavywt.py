@@ -1,0 +1,103 @@
+"""HEAVYWT: dedicated distributed backing store + dedicated network (§4.1).
+
+The performance-no-object design point: single-instruction produce/consume,
+a dedicated distributed queue store located at the consumer core (servicing
+4 concurrent operations per cycle, 1-cycle consume-to-use), occupancy
+counters replicated at both endpoints, and a new dedicated pipelined
+interconnect — the synchronization-array / Raw scalar-operand-network class
+of hardware.  Queue traffic never touches the memory subsystem, so its L2 /
+BUS / L3 / MEM components are zero by construction; its costs are die area
+and the OS burden of context-switching all of this architectural state.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.interconnect import DedicatedInterconnect
+from repro.core.mechanism import CommMechanism, register_mechanism
+from repro.sim.isa import DynInst
+from repro.sim.resources import UnitPool
+from repro.sim.stats import LatencyBreakdown
+
+
+@register_mechanism("heavywt")
+class HeavyWeightMechanism(CommMechanism):
+    """Dedicated-store, dedicated-network streaming support."""
+
+    flag_bytes = 0
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        ded = machine.config.dedicated
+        self.network = DedicatedInterconnect(ded.transit_delay)
+        #: Per-core dedicated-store ports (4 concurrent ops per cycle).
+        self._store_ports = [
+            UnitPool(ded.ops_per_cycle, name=f"sa-ports-{c}")
+            for c in range(machine.config.n_cores)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def produce(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        item = ch.n_produced
+        ch.n_produced += 1
+        ded = self.machine.config.dedicated
+
+        issue = core.issue_comm_slot(inst)
+        core.retire(1, overhead=True)
+        t = issue
+
+        # Local occupancy counter: block the pipeline on a full queue until
+        # the consumer's ACK (carried on the dedicated network) arrives.
+        gate = ch.producer_must_wait_for(item)
+        if gate is not None:
+            yield from self.wait_for_len(core, ch.freed, gate)
+            free_t = ch.freed[gate]
+            if free_t > t:
+                core.stats.queue_full_stall += free_t - t
+                core.stall_until(free_t, component="PreL2")
+                t = free_t
+
+        # Ship the operand to the consumer-side dedicated store.  Write
+        # ports at the store are provisioned for the network's injection
+        # rate (≤1 operand/cycle/channel vs 4 ops/cycle), so arrivals never
+        # queue; only consume-side reads contend for ports.
+        arrival = self.network.send(ch.producer_core, ch.consumer_core, t)
+        ch.record_produced(arrival)
+        ch.record_store_complete(arrival)
+        core.horizon = max(core.horizon, arrival)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def consume(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        item = ch.n_consumed
+        ch.n_consumed += 1
+        ded = self.machine.config.dedicated
+
+        issue = core.issue_comm_slot(inst)
+        core.retire(1, overhead=True)
+
+        yield from self.wait_for_len(core, ch.produced, item)
+        avail = ch.produced[item]
+        wait = max(0.0, avail - issue)
+        core.stats.queue_empty_stall += wait
+
+        # Read from the local dedicated store: 1-cycle consume-to-use.
+        grant = self._store_ports[core.core_id].acquire(max(issue, avail), busy=1.0)
+        ready = grant + ded.consume_to_use
+        if inst.dest is not None:
+            core.scoreboard.define(
+                inst.dest,
+                ready,
+                LatencyBreakdown(total=int(ready - issue), prel2=int(wait)),
+            )
+        core.horizon = max(core.horizon, ready)
+
+        # Occupancy ACK back to the producer over the dedicated network.
+        freed_visible = self.network.send(ch.consumer_core, ch.producer_core, ready)
+        ch.record_freed(freed_visible)
+        return None

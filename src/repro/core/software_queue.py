@@ -1,0 +1,146 @@
+"""EXISTING: shared-memory software queues (Section 3.1.1 / Figure 4).
+
+This is the design point representative of commercial CMPs with no streaming
+support.  Produce and consume are ~10-instruction load/store sequences —
+6 synchronization instructions (spin flag load, compare, branch, fence, flag
+store, mask), 1 data-transfer instruction, and 3 stream-address (head/tail
+pointer) update instructions — with a dependence height of 4 (Section 4.3).
+
+Synchronization uses per-slot full/empty condition variables co-located with
+the queue data (Figure 5): a producer spins until the tail slot's flag reads
+*empty*, stores the datum, then sets the flag; a consumer mirrors this on the
+head slot.  Both sides' flag writes make the backing line ping-pong between
+the private L2s through the snoop protocol, and every spin iteration flows
+through the pipeline and recirculates in the OzQ, occupying L2 ports — the
+COMM-OP overheads the paper measures for this design.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.mechanism import CommMechanism, register_mechanism
+from repro.core.queue_model import QueueChannel
+from repro.mem.bus import SharedBus
+from repro.sim.isa import DynInst
+
+
+@register_mechanism("existing")
+class SoftwareQueueMechanism(CommMechanism):
+    """Software queues over unmodified coherent shared memory."""
+
+    flag_bytes = 8  # 8-byte lock word co-located with each 8-byte datum
+
+    #: Synchronization ALU overhead around the spin load: compare, branch,
+    #: mask — with the flag load, fence and flag store this makes the six
+    #: synchronization instructions of Section 4.3.
+    SYNC_ALU_OPS = 3
+    #: Stream-address (head/tail pointer) update: add, compare, select.
+    POINTER_ALU_OPS = 3
+
+    def _observe_flag_delay(self) -> float:
+        """Latency for an in-flight spin load to observe the remote update.
+
+        While spinning, the flag load recirculates as an outstanding L2
+        transaction; once the other core's flag write happens, the update
+        reaches the spinner via a snoop round plus an L2 visit — not a full
+        fresh line refetch.
+        """
+        mem = self.machine.mem
+        return (
+            mem.bus.end_to_end_cycles(SharedBus.CONTROL_BYTES)
+            + self.machine.config.l2.latency
+        )
+
+    def _spin_until(self, core, flag_addr: int, visible_at: float, first) -> None:
+        """Spin on the flag at ``flag_addr`` until it reads updated."""
+        core.spin_wait(visible_at, first.breakdown)
+        # The observing (final) spin iteration: its in-flight refetch brings
+        # the whole line (flag + co-located data) into this L2.
+        self.machine.mem.observe_update(core.core_id, flag_addr, visible_at)
+        core.retire(1, overhead=True)
+        core.stall_until(visible_at + self._observe_flag_delay(), first.breakdown)
+
+    # ------------------------------------------------------------------
+
+    def produce(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        layout = ch.layout
+        item = ch.n_produced
+        ch.n_produced += 1
+
+        # --- Synchronization: spin until the slot's flag reads empty. ---
+        flag = layout.flag_addr(item)
+        first = core.overhead_load(flag)
+        core.overhead_alu(self.SYNC_ALU_OPS, dep_height=2)
+        gate = ch.producer_must_wait_for(item)
+        if gate is not None:
+            yield from self.wait_for_len(core, ch.freed, gate)
+            free_t = ch.freed[gate]
+            if free_t > first.complete:
+                core.stats.queue_full_stall += free_t - max(core.now, first.complete)
+                self._spin_until(core, flag, free_t, first)
+            else:
+                core.stall_until(first.complete, first.breakdown)
+        else:
+            core.stall_until(first.complete, first.breakdown)
+
+        # --- Data transfer, ordered before the flag set by a fence.  The
+        # store cannot issue before the produced value is ready (in-order
+        # core), exposing any in-flight miss feeding it. ---
+        if inst.srcs:
+            op_ready = core.scoreboard.ready(inst.srcs)
+            if op_ready > core.now:
+                core.stall_until(
+                    op_ready, core.scoreboard.dominant_mix(inst.srcs, op_ready)
+                )
+        data = core.overhead_store(layout.data_addr(item))
+        core.overhead_fence()
+        flag_set = core.overhead_store(flag)
+        ch.record_produced(flag_set.complete)
+        ch.record_store_complete(data.complete)
+        self._after_flag_set(core, ch, item, flag_set.complete)
+
+        # --- Stream address (tail pointer) update. ---
+        core.overhead_alu(self.POINTER_ALU_OPS, dep_height=2)
+        return None
+
+    # Hook for MEMOPTI's write-forwarding.
+    def _after_flag_set(
+        self, core, ch: QueueChannel, item: int, at: float
+    ) -> None:
+        """Called after the producer's flag-set store completes."""
+
+    # ------------------------------------------------------------------
+
+    def consume(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        layout = ch.layout
+        item = ch.n_consumed
+        ch.n_consumed += 1
+
+        # --- Synchronization: spin until the slot's flag reads full. ---
+        flag = layout.flag_addr(item)
+        first = core.overhead_load(flag)
+        core.overhead_alu(self.SYNC_ALU_OPS, dep_height=2)
+        yield from self.wait_for_len(core, ch.produced, item)
+        avail = ch.produced[item]
+        if avail > first.complete:
+            core.stats.queue_empty_stall += avail - max(core.now, first.complete)
+            self._spin_until(core, flag, avail, first)
+        else:
+            core.stall_until(first.complete, first.breakdown)
+
+        # --- Data transfer: the one load whose value feeds the kernel. ---
+        data = core.overhead_load(layout.data_addr(item))
+        if inst.dest is not None:
+            core.scoreboard.define(inst.dest, data.complete, data.breakdown)
+
+        # --- Mark the slot empty (ordered after the data read). ---
+        core.overhead_fence()
+        clear = core.overhead_store(flag)
+        ch.record_freed(clear.complete)
+
+        # --- Stream address (head pointer) update. ---
+        core.overhead_alu(self.POINTER_ALU_OPS, dep_height=2)
+        return None

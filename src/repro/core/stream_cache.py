@@ -1,0 +1,166 @@
+"""The 1 KB stream cache (SC) and the SYNCOPTI_SC mechanism (Section 5).
+
+SYNCOPTI's consume-to-use latency is ≥6 cycles: stream-address generation
+followed by the L2 access where synchronization happens.  The stream cache
+cuts this to 1 cycle: when a write-forwarded queue line fills the consumer's
+L2, its memory address is reverse-mapped to a queue address — a (queue
+number, queue slot) two-tuple — and the items are deposited in a small
+fully-associative structure inside the core.  Consume instructions that hit
+read their datum without TLB lookup or memory address generation; entries
+are invalidated by the consuming hit; fills are ignored when the cache is
+full; misses fall back to the ordinary SYNCOPTI L2 path.  Hitting consumes
+still send their counter update to the L2 (off the critical path) so the
+producer's occupancy tracking is unaffected.
+
+The structure costs less than 1% of HEAVYWT's dedicated backing store yet
+(combined with the 64-entry/QLU-16 queue configuration) brings SYNCOPTI
+within 2% of HEAVYWT — the paper's headline result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+from repro.core.mechanism import register_mechanism
+from repro.core.queue_model import QueueChannel
+from repro.core.syncopti import SyncOptiMechanism
+from repro.sim.config import StreamCacheConfig
+from repro.sim.isa import DynInst
+from repro.sim.stats import LatencyBreakdown
+
+
+class StreamCache:
+    """Fully-associative queue-addressed cache of forwarded stream items."""
+
+    def __init__(self, config: StreamCacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self.capacity = config.n_entries
+        #: (queue_id, slot) -> fill-arrival time.
+        self._entries: Dict[Tuple[int, int], float] = {}
+        self.fills = 0
+        self.fills_ignored = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fill(self, queue_id: int, slot: int, arrival: float) -> bool:
+        """Deposit one forwarded item; ignored when the cache is full."""
+        key = (queue_id, slot)
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self.fills_ignored += 1
+            return False
+        self._entries[key] = arrival
+        self.fills += 1
+        return True
+
+    def lookup(self, queue_id: int, slot: int, at: float):
+        """Consume-side probe: hit pops the entry (invalidate-on-hit).
+
+        Returns the fill-arrival time on a hit (which may be in the future
+        if the fill is still in flight), or ``None`` on a miss.
+        """
+        key = (queue_id, slot)
+        arrival = self._entries.pop(key, None)
+        if arrival is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrival
+
+    def invalidate_queue(self, queue_id: int) -> int:
+        """Drop all entries of one queue (context-switch support)."""
+        victims = [k for k in self._entries if k[0] == queue_id]
+        for k in victims:
+            del self._entries[k]
+        return len(victims)
+
+
+@register_mechanism("syncopti_sc")
+class StreamCacheMechanism(SyncOptiMechanism):
+    """SYNCOPTI with the per-core stream cache enabled."""
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        sc_cfg = machine.config.stream_cache
+        self._caches = [StreamCache(sc_cfg) for _ in range(machine.config.n_cores)]
+
+    def stream_cache(self, core_id: int) -> StreamCache:
+        return self._caches[core_id]
+
+    # ------------------------------------------------------------------
+
+    def _fill_stream_cache(self, ch: QueueChannel, last_item: int, arrival: float) -> None:
+        """Reverse-map a forwarded line's items into the consumer's SC."""
+        layout = ch.layout
+        sc = self._caches[ch.consumer_core]
+        first = last_item - (layout.qlu - 1)
+        for item in range(first, last_item + 1):
+            sc.fill(ch.queue_id, layout.slot_of(item), arrival)
+
+    def _obtain_item(self, core, ch: QueueChannel, item: int, t_sync: float):
+        """Try the stream cache first; fall back to the SYNCOPTI L2 path."""
+        layout = ch.layout
+        sc = self._caches[core.core_id]
+        # A hit is only possible once the line's forward has been simulated;
+        # wait for visibility exactly like base SYNCOPTI (same deadline
+        # semantics), then probe the SC.
+        cfg = self.machine.config
+        if len(ch.produced) > item:
+            status = "ok"
+        else:
+            deadline = t_sync + cfg.syncopti.partial_line_timeout
+            status = yield from self.wait_for_len(
+                core, ch.produced, item, deadline=deadline
+            )
+        if status == "ok":
+            arrival = sc.lookup(ch.queue_id, layout.slot_of(item), t_sync)
+            if arrival is not None:
+                core.stats.stream_cache_hits += 1
+                avail = max(arrival, ch.produced[item])
+                wait = max(0.0, avail - t_sync)
+                core.stats.queue_empty_stall += wait
+                # 1-cycle consume-to-use; the stream address logic's latency
+                # is what the SC bypasses.
+                issue = t_sync - cfg.syncopti.stream_addr_latency
+                ready = max(issue + cfg.stream_cache.hit_latency, avail)
+                # Counter update still goes to the L2, off the critical path.
+                self.machine.mem.ozq[core.core_id].acquire_port(ready, busy=1.0)
+                mix = LatencyBreakdown(
+                    total=int(ready - issue), prel2=int(wait)
+                )
+                core.horizon = max(core.horizon, ready)
+                return ready, mix
+            core.stats.stream_cache_misses += 1
+        # Miss (or timeout): identical to base SYNCOPTI.
+        result = yield from self._resolve_via_l2(core, ch, item, t_sync, status)
+        return result
+
+    def _resolve_via_l2(self, core, ch: QueueChannel, item: int, t_sync: float, status: str):
+        """Base-SYNCOPTI resolution, reusing the already-determined status."""
+        cfg = self.machine.config
+        layout = ch.layout
+        if status == "ok":
+            avail = ch.produced[item]
+            wait = max(0.0, avail - t_sync)
+            core.stats.queue_empty_stall += wait
+            res = self.machine.mem.stream_load(
+                core.core_id, layout.data_addr(item), max(t_sync, avail)
+            )
+            mix = res.breakdown
+            mix.prel2 += int(wait)
+            mix.total += int(wait)
+            return res.complete, mix
+        yield from self.wait_for_len(core, ch.store_complete, item)
+        stored = ch.store_complete[item]
+        t0 = max(t_sync + cfg.syncopti.partial_line_timeout, stored)
+        core.stats.queue_empty_stall += t0 - t_sync
+        res = self.machine.mem.stream_load(core.core_id, layout.data_addr(item), t0)
+        while len(ch.produced) <= item:
+            ch.record_produced(res.complete)
+        mix = res.breakdown
+        mix.prel2 += int(t0 - t_sync)
+        mix.total += int(t0 - t_sync)
+        return res.complete, mix

@@ -1,0 +1,187 @@
+"""SYNCOPTI: streaming-tuned message passing atop shared memory (§4.2).
+
+SYNCOPTI adds ``produce``/``consume`` instructions to the ISA but keeps the
+memory subsystem as the backing store and the existing L3 bus as the
+interconnect — the paper's light-weight sweet spot.  The moving parts:
+
+* **Stream address logic** renames produce/consume instructions to
+  consecutive backing-store addresses; its 2-cycle latency overlaps the L1
+  access but serializes the trip to the L2, making the consume-to-use
+  latency at least ``stream_addr + L2`` cycles (vs 1 cycle in HEAVYWT).
+* **Occupancy counters** at each L2 controller synchronize the two sides
+  without any flag traffic.  A produce to a full queue sits *dormant* in one
+  OzQ entry until the counter permits — filling the OzQ and backpressuring
+  the pipeline (PreL2), but not churning L2 ports like a software spin.
+* **Locality-enhanced write-forwarding** pushes a backing line to the
+  consumer's L2 only after *all* QLU entries on it are written, and hands
+  ownership over (the producer's copy is released).  Forwarding doubles as
+  the consumer-side counter update: items become consumable when their line
+  arrives.
+* **Bulk ACKs**: when the consumer reads the last item on a line it puts a
+  single counter-update message on the bus, freeing all the line's slots at
+  the producer at once.
+* **Wrap-around stall**: a producer re-entering a line stalls until the
+  consumer has drained it, preserving the consumer's spatial locality.
+* **Partial-line timeout**: a consume whose line will never fill (stream
+  ended or producer stalled mid-line) times out and performs a demand L2/L3
+  access, eliciting a writeback of the partial line from the producer —
+  avoiding deadlock (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.mechanism import CommMechanism, register_mechanism
+from repro.core.queue_model import QueueChannel
+from repro.sim.isa import DynInst
+
+
+@register_mechanism("syncopti")
+class SyncOptiMechanism(CommMechanism):
+    """Produce/consume instructions + counters over the memory subsystem."""
+
+    flag_bytes = 0  # synchronization is counter-based; no per-slot flags
+
+    # ------------------------------------------------------------------
+
+    def produce(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        layout = ch.layout
+        item = ch.n_produced
+        ch.n_produced += 1
+        cfg = self.machine.config
+
+        # The produce instruction issues in-order (waiting on its source
+        # operand) and occupies one memory-port slot; its stream address is
+        # generated in parallel with the L1 bypass.
+        issue = core.issue_comm_slot(inst)
+        core.retire(1, overhead=True)
+        t = issue + cfg.syncopti.stream_addr_latency
+
+        # Occupancy check at the L2 controller.  On a full queue the produce
+        # sits dormant in the OzQ until a counter update frees a line.
+        gate = ch.producer_must_wait_for(item)
+        if gate is not None:
+            yield from self.wait_for_len(core, ch.freed, gate)
+            free_t = ch.freed[gate]
+            if free_t > t:
+                core.stats.queue_full_stall += free_t - t
+                core.stats.ozq_backpressure_events += 1
+                ozq = self.machine.mem.ozq[core.core_id]
+                entry = ozq.begin_entry(t)
+                ozq.end_entry(entry, free_t)
+                core.stall_until(free_t, component="PreL2")
+                t = max(t, core.now)
+
+        # Write the item into the backing line in the producer's L2.
+        res = self.machine.mem.store(
+            core.core_id, layout.data_addr(item), t, streaming=True
+        )
+        core.charge("PreL2", res.prel2_wait)
+        core.horizon = max(core.horizon, res.complete)
+        ch.record_store_complete(res.complete)
+
+        # Locality-enhanced write-forward: only once the line is full.
+        if layout.is_last_in_line(item):
+            self._forward_line(core, ch, item, res.complete)
+        return None
+
+    def _forward_line(self, core, ch: QueueChannel, item: int, at: float) -> None:
+        """Push the completed line to the consumer; publish its items."""
+        layout = ch.layout
+        line = layout.line_of(item)
+        arrival = self.machine.mem.forward_line(
+            src=ch.producer_core,
+            dst=ch.consumer_core,
+            addr=layout.line_addr(line),
+            at=at,
+            release_src=True,
+            contend_ports=False,
+        )
+        ch.record_forward(line, arrival)
+        core.stats.lines_forwarded += 1
+        # All stored-but-unpublished items up to `item` become visible when
+        # the line lands (the forward *is* the consumer's counter update).
+        while len(ch.produced) <= item:
+            ch.record_produced(arrival)
+        self._fill_stream_cache(ch, item, arrival)
+
+    def _fill_stream_cache(self, ch: QueueChannel, last_item: int, arrival: float) -> None:
+        """Hook for the stream-cache variant (no-op in base SYNCOPTI)."""
+
+    # ------------------------------------------------------------------
+
+    def consume(self, core, inst: DynInst) -> Generator:
+        ch = self.channel(inst.queue)
+        layout = ch.layout
+        item = ch.n_consumed
+        ch.n_consumed += 1
+        cfg = self.machine.config
+
+        issue = core.issue_comm_slot(inst)
+        core.retire(1, overhead=True)
+        t_sync = issue + cfg.syncopti.stream_addr_latency
+
+        # Wait for the item to become visible: normally via its line's
+        # write-forward; on timeout via a demand fetch (partial lines).
+        ready, mix = yield from self._obtain_item(core, ch, item, t_sync)
+        if inst.dest is not None:
+            core.scoreboard.define(inst.dest, ready, mix)
+        core.horizon = max(core.horizon, ready)
+
+        # Bulk ACK: last item on the line frees all its slots at once.
+        if layout.is_last_in_line(item) or ch.n_consumed == ch.n_produced == len(
+            ch.store_complete
+        ):
+            self._bulk_ack(core, ch, item, ready)
+        return None
+
+    def _obtain_item(self, core, ch: QueueChannel, item: int, t_sync: float):
+        """Resolve availability + data access; returns (ready, mix)."""
+        cfg = self.machine.config
+        layout = ch.layout
+        if len(ch.produced) > item:
+            status = "ok"
+        else:
+            deadline = t_sync + cfg.syncopti.partial_line_timeout
+            status = yield from self.wait_for_len(
+                core, ch.produced, item, deadline=deadline
+            )
+        if status == "ok":
+            avail = ch.produced[item]
+            wait = max(0.0, avail - t_sync)
+            core.stats.queue_empty_stall += wait
+            res = self.machine.mem.stream_load(
+                core.core_id, layout.data_addr(item), max(t_sync, avail)
+            )
+            mix = res.breakdown
+            mix.prel2 += int(wait)
+            mix.total += int(wait)
+            return res.complete, mix
+        # Timeout: elicit a writeback of the partial line from the producer.
+        yield from self.wait_for_len(core, ch.store_complete, item)
+        stored = ch.store_complete[item]
+        t0 = max(t_sync + cfg.syncopti.partial_line_timeout, stored)
+        core.stats.queue_empty_stall += t0 - t_sync
+        res = self.machine.mem.stream_load(core.core_id, layout.data_addr(item), t0)
+        # This item (and nothing beyond it) is now visible.
+        while len(ch.produced) <= item:
+            ch.record_produced(res.complete)
+        mix = res.breakdown
+        mix.prel2 += int(t0 - t_sync)
+        mix.total += int(t0 - t_sync)
+        return res.complete, mix
+
+    def _bulk_ack(self, core, ch: QueueChannel, item: int, at: float) -> None:
+        """One bus message updates the producer's occupancy counters."""
+        done = self.machine.mem.control_ack(ch.consumer_core, at)
+        missing = (item + 1) - len(ch.freed)
+        if missing > 0:
+            ch.record_freed_bulk(missing, done)
+
+    # ------------------------------------------------------------------
+
+    def on_streaming_eviction(self, core_id: int, line_addr: int, at: float) -> None:
+        """An evicted streaming line flushes its occupancy on the bus."""
+        self.machine.mem.control_ack(core_id, at)

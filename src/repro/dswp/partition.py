@@ -1,0 +1,174 @@
+"""The DSWP partitioning algorithm (Ottoni et al., MICRO 2005).
+
+Decoupled Software Pipelining splits a loop into pipeline-stage threads such
+that all cross-thread dependences flow in one direction.  The algorithm:
+
+1. Build the loop's dependence graph (intra-iteration and loop-carried
+   register dependences; the loop back-edge closes recurrences).
+2. Compute strongly connected components — each recurrence must live
+   entirely within one stage, otherwise a cross-thread dependence cycle
+   would serialize the pipeline.
+3. Condense to the DAG of SCCs and choose a predecessor-closed cut that
+   balances estimated stage weights while penalizing cross-cut values (each
+   crossing value costs a produce/consume pair per iteration — COMM-OP
+   delay, the quantity the paper's mechanisms fight over).
+
+This implementation produces the two-stage partitions the paper evaluates
+(its machine is a dual-core CMP); the cut search is exact over all
+topological prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.dswp.graph import DiGraph, condense, topological_order
+from repro.dswp.ir import Loop, Op
+
+
+class PartitionError(ValueError):
+    """The loop cannot be split into a non-trivial pipeline."""
+
+
+#: Condensations at or below this many SCCs get an exact cut search.
+_EXHAUSTIVE_SCC_LIMIT = 14
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A two-stage DSWP partition of one loop.
+
+    Attributes:
+        loop: The partitioned loop.
+        stage_of: op_id -> stage index (0 = producer, 1 = consumer).
+        crossing_values: op_ids whose values cross the cut, in body order.
+            Each is assigned one architectural queue by the code generator.
+    """
+
+    loop: Loop
+    stage_of: Dict[str, int]
+    crossing_values: Tuple[str, ...]
+
+    def ops_in_stage(self, stage: int) -> List[Op]:
+        return [op for op in self.loop.body if self.stage_of[op.op_id] == stage]
+
+    def stage_weight(self, stage: int) -> float:
+        return sum(op.est_weight for op in self.ops_in_stage(stage))
+
+    def comm_ops_per_iteration(self) -> int:
+        """Produce/consume pairs executed per loop iteration."""
+        return sum(self.loop.op(v).repeat for v in self.crossing_values)
+
+    def validate(self) -> None:
+        """Check the DSWP invariant: no stage-1 -> stage-0 dependence."""
+        for op in self.loop.body:
+            for dep in op.deps + op.carried_deps:
+                if self.stage_of[dep] > self.stage_of[op.op_id]:
+                    raise PartitionError(
+                        f"backward dependence {dep!r} (stage "
+                        f"{self.stage_of[dep]}) -> {op.op_id!r} (stage "
+                        f"{self.stage_of[op.op_id]})"
+                    )
+
+
+def build_dependence_graph(loop: Loop) -> DiGraph:
+    """The loop's register dependence graph, back-edges included."""
+    graph = DiGraph()
+    for op in loop.body:
+        graph.add_node(op.op_id)
+    for op in loop.body:
+        for dep in op.deps:
+            graph.add_edge(dep, op.op_id)
+        for dep in op.carried_deps:
+            # A loop-carried dependence is an edge from the def to the use
+            # *and* closes a cycle when the use (transitively) feeds the def.
+            graph.add_edge(dep, op.op_id)
+    return graph
+
+
+def partition_loop(loop: Loop, comm_cost_weight: float = 1.0) -> Partition:
+    """Split ``loop`` into a two-stage pipeline.
+
+    Args:
+        comm_cost_weight: Estimated cycles charged per crossing value when
+            scoring cuts (models per-iteration COMM-OP delay).
+
+    Raises:
+        PartitionError: When every op falls into a single SCC (fully
+            recurrent loop) or no non-trivial predecessor-closed cut exists.
+    """
+    graph = build_dependence_graph(loop)
+    dag, op_to_scc, sccs = condense(graph)
+    if len(sccs) < 2:
+        raise PartitionError(
+            f"loop {loop.name!r} is a single recurrence; DSWP cannot pipeline it"
+        )
+    order = topological_order(dag)
+    scc_weight = {
+        scc_id: sum(loop.op(op_id).est_weight for op_id in members)
+        for scc_id, members in enumerate(sccs)
+    }
+    total = sum(scc_weight.values())
+
+    best_cut, best_score = None, (float("inf"), float("inf"))
+
+    def consider(candidate: Set[int]) -> None:
+        nonlocal best_cut, best_score
+        weight = sum(scc_weight[s] for s in candidate)
+        crossing = _crossing_values(loop, op_to_scc, candidate)
+        imbalance = max(weight, total - weight)
+        comm = sum(loop.op(v).repeat for v in crossing)
+        # Primary: estimated bottleneck stage time + per-iteration COMM-OP
+        # cost.  Tie-break: prefer the better-balanced cut (a balanced
+        # pipeline tolerates latency variance better).
+        score = (imbalance + comm_cost_weight * comm, imbalance)
+        if score < best_score:
+            best_score = score
+            best_cut = frozenset(candidate)
+
+    if len(order) <= _EXHAUSTIVE_SCC_LIMIT:
+        # Small condensations (every loop in the suite): enumerate every
+        # predecessor-closed proper subset exactly.
+        preds = {s: dag.predecessors(s) for s in order}
+        for mask in range(1, (1 << len(order)) - 1):
+            candidate = {order[i] for i in range(len(order)) if mask >> i & 1}
+            if all(preds[s] <= candidate for s in candidate):
+                consider(candidate)
+    else:
+        # Large condensations: every non-empty proper prefix of a
+        # topological order is predecessor-closed.
+        prefix: Set[int] = set()
+        for scc_id in order[:-1]:
+            prefix.add(scc_id)
+            consider(prefix)
+    if best_cut is None:
+        raise PartitionError(f"no valid cut for loop {loop.name!r}")
+
+    stage_of = {
+        op.op_id: 0 if op_to_scc[op.op_id] in best_cut else 1 for op in loop.body
+    }
+    crossing = _crossing_values(loop, op_to_scc, set(best_cut))
+    partition = Partition(
+        loop=loop,
+        stage_of=stage_of,
+        crossing_values=tuple(
+            op.op_id for op in loop.body if op.op_id in crossing
+        ),
+    )
+    partition.validate()
+    return partition
+
+
+def _crossing_values(
+    loop: Loop, op_to_scc: Dict[str, int], stage0_sccs: Set[int]
+) -> Set[str]:
+    """Values defined in stage 0 and used in stage 1 (deduplicated)."""
+    crossing: Set[str] = set()
+    for op in loop.body:
+        if op_to_scc[op.op_id] in stage0_sccs:
+            continue
+        for dep in op.deps + op.carried_deps:
+            if op_to_scc[dep] in stage0_sccs:
+                crossing.add(dep)
+    return crossing

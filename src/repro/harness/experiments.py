@@ -1,0 +1,404 @@
+"""One entry per table and figure of the paper's evaluation.
+
+Every function regenerates one exhibit — same rows, same series, same
+normalization conventions — returning an :class:`ExperimentResult` whose
+``data`` holds the numbers (for tests/benches to assert on) and whose
+``text`` is a printable rendering.  Absolute cycle counts differ from the
+paper's Itanium 2 testbed; the *shapes* (orderings, approximate factors,
+crossovers) are the reproduction targets recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.design_points import (
+    DESIGN_POINTS,
+    FIGURE7_ORDER,
+    FIGURE12_ORDER,
+    get_design_point,
+    with_bus_latency,
+    with_bus_width,
+    with_queue_depth,
+    with_transit_delay,
+)
+from repro.harness.reporting import (
+    format_breakdown_table,
+    format_table,
+    normalized_series,
+    with_geomean,
+)
+from repro.harness.runner import RunResult, run_benchmark, run_single_threaded
+from repro.sim.config import baseline_config
+from repro.sim.stats import geomean
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+#: Per-benchmark iteration counts for experiment runs: long-iteration
+#: (memory-bound) loops need fewer trips for steady state.
+EXPERIMENT_TRIPS: Dict[str, int] = {
+    "art": 400,
+    "equake": 200,
+    "mcf": 150,
+    "bzip2": 480,
+    "adpcmdec": 400,
+    "epicdec": 200,
+    "wc": 500,
+    "fir": 400,
+    "fft2": 200,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated exhibit."""
+
+    exhibit: str
+    description: str
+    data: Dict
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _trips(benchmark: str, scale: float = 1.0) -> int:
+    return max(32, int(EXPERIMENT_TRIPS[benchmark] * scale))
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def table1() -> ExperimentResult:
+    """Table 1: benchmark loop information."""
+    rows = [
+        (info.name, info.function, info.source, info.pct_exec_time)
+        for info in BENCHMARKS.values()
+    ]
+    text = "== Table 1: Benchmark Loop Information ==\n" + format_table(
+        ("Benchmark", "Function", "Source", "% Exec. Time"), rows
+    )
+    return ExperimentResult(
+        exhibit="table1",
+        description="Benchmark loop information",
+        data={"rows": rows},
+        text=text,
+    )
+
+
+def table2() -> ExperimentResult:
+    """Table 2: baseline simulator configuration."""
+    desc = baseline_config().describe()
+    text = "== Table 2: Baseline Simulator ==\n" + format_table(
+        ("Parameter", "Value"), desc.items()
+    )
+    return ExperimentResult(
+        exhibit="table2",
+        description="Baseline simulator configuration",
+        data={"parameters": desc},
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: transit-delay tolerance of HEAVYWT
+# ----------------------------------------------------------------------
+
+
+def figure6(scale: float = 1.0) -> ExperimentResult:
+    """Figure 6: HEAVYWT at 1- vs 10-cycle transit, 32- vs 64-entry queues.
+
+    Paper shape: the 1-cycle and 10-cycle bars are nearly equal for all
+    benchmarks except bzip2 (whose outer loop cannot be pipelined, ~33%
+    slower at 10 cycles); some benchmarks improve slightly at 10 cycles
+    (pipelined transit acts as extra queue storage); the 64-entry queue
+    recovers the residual slowdowns.
+    """
+    point = get_design_point("HEAVYWT")
+    variants = {
+        "1c/32q": with_queue_depth(with_transit_delay(point.build_config(), 1), 32),
+        "10c/32q": with_queue_depth(with_transit_delay(point.build_config(), 10), 32),
+        "10c/64q": with_queue_depth(with_transit_delay(point.build_config(), 10), 64),
+    }
+    series: Dict[str, Dict[str, float]] = {}
+    for bench in BENCHMARK_ORDER:
+        cycles = {
+            label: run_benchmark(
+                bench, "HEAVYWT", _trips(bench, scale), config=cfg
+            ).cycles
+            for label, cfg in variants.items()
+        }
+        series[bench] = normalized_series(cycles, "1c/32q")
+    rows = [
+        (b, f"{v['1c/32q']:.2f}", f"{v['10c/32q']:.2f}", f"{v['10c/64q']:.2f}")
+        for b, v in series.items()
+    ]
+    gms = {
+        label: geomean(v[label] for v in series.values())
+        for label in ("1c/32q", "10c/32q", "10c/64q")
+    }
+    rows.append(("GeoMean", *(f"{gms[k]:.2f}" for k in ("1c/32q", "10c/32q", "10c/64q"))))
+    text = (
+        "== Figure 6: Effect of transit delay on streaming codes ==\n"
+        + format_table(("Benchmark", "1-cycle/32", "10-cycle/32", "10-cycle/64"), rows)
+    )
+    return ExperimentResult(
+        exhibit="figure6",
+        description="Transit-delay tolerance of pipelined streaming (HEAVYWT)",
+        data={"normalized": series, "geomean": gms},
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7 / 10 / 11: design-point comparison with breakdowns
+# ----------------------------------------------------------------------
+
+
+def _design_point_grid(
+    points, scale: float, config_transform=None
+) -> Dict[str, Dict[str, RunResult]]:
+    grid: Dict[str, Dict[str, RunResult]] = {}
+    for bench in BENCHMARK_ORDER:
+        grid[bench] = {}
+        for name in points:
+            cfg = get_design_point(name).build_config()
+            if config_transform is not None:
+                cfg = config_transform(cfg)
+            grid[bench][name] = run_benchmark(
+                bench, name, _trips(bench, scale), config=cfg
+            )
+    return grid
+
+
+def _breakdown_figure(
+    exhibit: str,
+    title: str,
+    points,
+    scale: float,
+    config_transform=None,
+    thread: str = "producer",
+) -> ExperimentResult:
+    grid = _design_point_grid(points, scale, config_transform)
+    baseline_point = points[0]
+    normalized: Dict[str, Dict[str, float]] = {}
+    bars: Dict[str, Mapping[str, float]] = {}
+    for bench, runs in grid.items():
+        base = runs[baseline_point].cycles
+        normalized[bench] = {name: runs[name].cycles / base for name in points}
+        for name in points:
+            stats = (
+                runs[name].producer if thread == "producer" else runs[name].consumer
+            )
+            bars[f"{bench}/{name}"] = stats.normalized_components(base)
+    gms = {
+        name: geomean(normalized[b][name] for b in normalized) for name in points
+    }
+    text = format_breakdown_table(title, bars) + "\n\nNormalized execution time:\n"
+    rows = [
+        (b, *(f"{normalized[b][n]:.2f}" for n in points)) for b in normalized
+    ]
+    rows.append(("GeoMean", *(f"{gms[n]:.2f}" for n in points)))
+    text += format_table(("Benchmark", *points), rows)
+    return ExperimentResult(
+        exhibit=exhibit,
+        description=title,
+        data={"normalized": normalized, "geomean": gms, "bars": dict(bars)},
+        text=text,
+    )
+
+
+def figure7(scale: float = 1.0) -> ExperimentResult:
+    """Figure 7: normalized execution times for each design point.
+
+    Paper shape: HEAVYWT best everywhere; SYNCOPTI trails it closely
+    (average ~31% behind, worst for wc's very tight loop) and beats
+    EXISTING/MEMOPTI by ~1.6x; MEMOPTI is not faster than EXISTING (OzQ
+    write-forward recirculation vs prioritized external writebacks).
+    """
+    return _breakdown_figure(
+        "figure7",
+        "Figure 7: Normalized execution times for each design point (producer)",
+        list(FIGURE7_ORDER),
+        scale,
+    )
+
+
+def figure10(scale: float = 1.0) -> ExperimentResult:
+    """Figure 10: 4-CPU-cycle bus latency sensitivity.
+
+    Paper shape: tight loops (adpcmdec, wc, epicdec) hurt most; even larger
+    memory-intensive loops (mcf, equake) grow a significant BUS component
+    from arbitration backlog (8 bus cycles = 32 CPU cycles per line).
+    """
+    return _breakdown_figure(
+        "figure10",
+        "Figure 10: Effect of increased transit delay (bus latency = 4 CPU cycles)",
+        list(FIGURE7_ORDER),
+        scale,
+        config_transform=lambda cfg: with_transit_delay(with_bus_latency(cfg, 4), 4),
+    )
+
+
+def figure11(scale: float = 1.0) -> ExperimentResult:
+    """Figure 11: 128-byte-wide bus at 4-cycle latency.
+
+    Paper shape: the wide bus (one beat per line) removes the arbitration
+    backlog, shrinking the BUS components relative to Figure 10.
+    """
+    return _breakdown_figure(
+        "figure11",
+        "Figure 11: Effect of increased interconnect bandwidth "
+        "(transit = 4 cycles, bus width = 128 bytes)",
+        list(FIGURE7_ORDER),
+        scale,
+        config_transform=lambda cfg: with_transit_delay(
+            with_bus_width(with_bus_latency(cfg, 4), 128), 4
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: communication frequency
+# ----------------------------------------------------------------------
+
+
+def figure8(scale: float = 1.0) -> ExperimentResult:
+    """Figure 8: dynamic comm-to-application instruction ratios.
+
+    Paper shape: with produce/consume instructions, one communication per
+    5-20 application instructions; wc is the extreme (3 consumes per
+    iteration of a very tight loop).
+    """
+    ratios: Dict[str, Dict[str, float]] = {}
+    for bench in BENCHMARK_ORDER:
+        result = run_benchmark(bench, "HEAVYWT", _trips(bench, scale))
+        ratios[bench] = {
+            "producer": result.producer.comm_to_app_ratio,
+            "consumer": result.consumer.comm_to_app_ratio,
+        }
+    gms = {
+        side: geomean(max(r[side], 1e-9) for r in ratios.values())
+        for side in ("producer", "consumer")
+    }
+    rows = [
+        (b, f"{r['producer']:.3f}", f"{r['consumer']:.3f}") for b, r in ratios.items()
+    ]
+    rows.append(("GeoMean", f"{gms['producer']:.3f}", f"{gms['consumer']:.3f}"))
+    text = (
+        "== Figure 8: comm : application instruction ratio ==\n"
+        + format_table(("Benchmark", "Producer", "Consumer"), rows)
+    )
+    return ExperimentResult(
+        exhibit="figure8",
+        description="Dynamic communication to application instruction ratios",
+        data={"ratios": ratios, "geomean": gms},
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: HEAVYWT speedup over single-threaded
+# ----------------------------------------------------------------------
+
+
+def figure9(scale: float = 1.0) -> ExperimentResult:
+    """Figure 9: loop speedup of HEAVYWT over single-threaded execution.
+
+    Paper shape: all benchmarks at or above 1.0, geomean ~1.29x — meaning
+    the other mechanisms' COMM-OP overheads can erase parallelization gains.
+    """
+    speedups: Dict[str, float] = {}
+    for bench in BENCHMARK_ORDER:
+        trips = _trips(bench, scale)
+        mt = run_benchmark(bench, "HEAVYWT", trips)
+        st = run_single_threaded(bench, trips)
+        speedups[bench] = st.cycles / mt.cycles
+    series = with_geomean(speedups)
+    rows = [(b, f"{s:.2f}") for b, s in series.items()]
+    text = "== Figure 9: HEAVYWT loop speedup over single-threaded ==\n" + format_table(
+        ("Benchmark", "Speedup"), rows
+    )
+    return ExperimentResult(
+        exhibit="figure9",
+        description="Speedup of optimized loops in HEAVYWT over single-threaded",
+        data={"speedups": speedups, "geomean": series["GeoMean"]},
+        text=text,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: SYNCOPTI optimizations (Q64, SC, SC+Q64)
+# ----------------------------------------------------------------------
+
+
+def figure12(scale: float = 1.0) -> ExperimentResult:
+    """Figure 12: stream cache and queue size effects on SYNCOPTI.
+
+    Paper shape: Q64 reduces producer stalls, SC cuts consume-to-use
+    latency, and SC+Q64 reaches within ~2% of HEAVYWT — a 2x speedup over
+    EXISTING/MEMOPTI — at ~1% of the dedicated store's cost.
+    """
+    points = list(FIGURE12_ORDER)
+    grid = _design_point_grid(points, scale)
+    normalized: Dict[str, Dict[str, float]] = {}
+    producer_bars: Dict[str, Mapping[str, float]] = {}
+    consumer_bars: Dict[str, Mapping[str, float]] = {}
+    for bench, runs in grid.items():
+        base = runs["HEAVYWT"].cycles
+        normalized[bench] = {name: runs[name].cycles / base for name in points}
+        for name in points:
+            producer_bars[f"{bench}/{name}"] = runs[name].producer.normalized_components(base)
+            consumer_bars[f"{bench}/{name}"] = runs[name].consumer.normalized_components(base)
+    gms = {name: geomean(normalized[b][name] for b in normalized) for name in points}
+    text = (
+        format_breakdown_table(
+            "Figure 12 (producer): stream cache and queue size effects", producer_bars
+        )
+        + "\n\n"
+        + format_breakdown_table(
+            "Figure 12 (consumer): stream cache and queue size effects", consumer_bars
+        )
+        + "\n\nNormalized execution time:\n"
+    )
+    rows = [(b, *(f"{normalized[b][n]:.2f}" for n in points)) for b in normalized]
+    rows.append(("GeoMean", *(f"{gms[n]:.2f}" for n in points)))
+    text += format_table(("Benchmark", *points), rows)
+    return ExperimentResult(
+        exhibit="figure12",
+        description="Effect of streaming cache and queue size on SYNCOPTI",
+        data={
+            "normalized": normalized,
+            "geomean": gms,
+            "producer_bars": dict(producer_bars),
+            "consumer_bars": dict(consumer_bars),
+        },
+        text=text,
+    )
+
+
+#: All exhibits, in paper order.
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+}
+
+
+def run_all(scale: float = 1.0) -> List[ExperimentResult]:
+    """Regenerate every exhibit (tables take no scale)."""
+    results = []
+    for name, fn in ALL_EXPERIMENTS.items():
+        if name.startswith("table"):
+            results.append(fn())
+        else:
+            results.append(fn(scale))
+    return results

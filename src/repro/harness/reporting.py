@@ -1,0 +1,67 @@
+"""Formatting helpers that print results the way the paper's exhibits do."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.sim.stats import geomean
+
+#: Stacked-bar components, bottom-to-top, as in Figures 7/10/11/12.
+BAR_COMPONENTS = ("COMPUTE", "PreL2", "L2", "BUS", "L3", "MEM", "PostL2")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Plain fixed-width table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def normalized_series(
+    cycles: Mapping[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Normalize a {label: cycles} mapping to one label's value."""
+    base = cycles[baseline_key]
+    if base <= 0:
+        raise ValueError(f"baseline {baseline_key!r} has non-positive cycles")
+    return {k: v / base for k, v in cycles.items()}
+
+
+def with_geomean(series: Mapping[str, float]) -> Dict[str, float]:
+    """Append the paper's GeoMean summary entry."""
+    out = dict(series)
+    out["GeoMean"] = geomean(series.values())
+    return out
+
+
+def breakdown_row(components: Mapping[str, float]) -> List[str]:
+    """One stacked bar as fixed-precision cells in BAR_COMPONENTS order."""
+    return [f"{components.get(name, 0.0):.2f}" for name in BAR_COMPONENTS]
+
+
+def format_breakdown_table(
+    title: str,
+    bars: Mapping[str, Mapping[str, float]],
+) -> str:
+    """A breakdown figure as text: one row per bar, one column per component.
+
+    ``bars`` maps a bar label (e.g. "wc/HEAVYWT") to its normalized
+    component dict.  The Total column is the bar's height — the normalized
+    execution time the paper plots.
+    """
+    headers = ["bar", *BAR_COMPONENTS, "Total"]
+    rows = []
+    for label, comps in bars.items():
+        rows.append(
+            [label, *breakdown_row(comps), f"{sum(comps.values()):.2f}"]
+        )
+    return f"== {title} ==\n" + format_table(headers, rows)

@@ -1,0 +1,101 @@
+"""Single-run driver: (benchmark x design point x overrides) -> RunResult.
+
+Everything the experiment layer needs from one simulation: wall-clock
+cycles, per-thread component breakdowns, and communication statistics —
+with the benchmark's iteration count scaled down uniformly so the whole
+evaluation grid runs in seconds (the paper's *relative* quantities are
+iteration-count-invariant once past warm-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.design_points import DesignPoint, get_design_point
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats, ThreadStats
+from repro.workloads.suite import (
+    benchmark_info,
+    build_pipelined,
+    build_single_threaded,
+)
+
+#: Default iteration count for experiment runs: enough to wash out cold-start
+#: transients while keeping the full grid fast.
+DEFAULT_TRIP_COUNT = 400
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (benchmark, design point) simulation."""
+
+    benchmark: str
+    design_point: str
+    cycles: int
+    stats: RunStats
+    machine: Machine = field(repr=False, default=None)
+
+    @property
+    def producer(self) -> ThreadStats:
+        return self.stats.producer
+
+    @property
+    def consumer(self) -> ThreadStats:
+        return self.stats.consumer
+
+    def thread_components(self, thread: str, baseline_cycles: float) -> Dict[str, float]:
+        """Normalized component bars for 'producer' or 'consumer'."""
+        t = self.producer if thread == "producer" else self.consumer
+        return t.normalized_components(baseline_cycles)
+
+
+def run_benchmark(
+    benchmark: str,
+    design_point: str,
+    trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """Run one benchmark on one design point.
+
+    Args:
+        benchmark: Suite benchmark name (see ``BENCHMARK_ORDER``).
+        design_point: Name in ``DESIGN_POINTS``.
+        trip_count: Loop iterations (None = the benchmark's default).
+        config: Optional pre-built machine configuration (already including
+            the design point's deltas); built from the design point if None.
+    """
+    point = get_design_point(design_point)
+    benchmark_info(benchmark)  # validate the name early
+    cfg = config if config is not None else point.build_config()
+    program = build_pipelined(benchmark, trip_count)
+    machine = Machine(cfg, mechanism=point.mechanism)
+    stats = machine.run(program)
+    return RunResult(
+        benchmark=benchmark,
+        design_point=design_point,
+        cycles=stats.cycles,
+        stats=stats,
+        machine=machine,
+    )
+
+
+def run_single_threaded(
+    benchmark: str,
+    trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """Run the original (unpartitioned) loop on one core."""
+    point = get_design_point("HEAVYWT")  # mechanism is unused without queues
+    cfg = config if config is not None else point.build_config()
+    program = build_single_threaded(benchmark, trip_count)
+    machine = Machine(cfg, mechanism=point.mechanism)
+    stats = machine.run(program)
+    return RunResult(
+        benchmark=benchmark,
+        design_point="SINGLE",
+        cycles=stats.cycles,
+        stats=stats,
+        machine=machine,
+    )

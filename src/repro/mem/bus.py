@@ -1,0 +1,145 @@
+"""Split-transaction shared L3 bus model (Table 2).
+
+The baseline bus is 16 bytes wide, 1 CPU cycle per bus cycle, 3-stage
+pipelined, split-transaction, with round-robin arbitration.  Figures 10 and 11
+of the paper vary the bus-cycle latency (4 CPU cycles) and the width (128
+bytes) to study interconnect sensitivity.
+
+Timing model (timestamp-driven):
+
+* A transaction carrying ``payload`` bytes occupies ``ceil(payload/width)``
+  bus *beats*; each beat takes ``cycle_latency`` CPU cycles.
+* A **pipelined** bus can accept a new transaction as soon as the previous
+  transaction's beats have been injected (its stages drain concurrently);
+  end-to-end latency adds ``stages`` pipeline cycles.
+* A **non-pipelined** bus is held for the entire end-to-end duration of each
+  transaction; a new transaction starts only after the previous fully
+  completes.  This reproduces Section 3.3's throughput gap.
+
+Arbitration is first-come-first-served on timestamps, which is the
+steady-state behaviour of a round-robin arbiter under the (time-ordered)
+request streams the co-simulator generates; per-requestor grant counters are
+kept so tests can check fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.config import BusConfig
+
+
+@dataclass
+class BusTransaction:
+    """Result of one bus transaction.
+
+    Attributes:
+        request_time: When the requester asked for the bus.
+        grant_time: When arbitration granted the bus.
+        done_time: When the full transaction (address + payload) completed.
+    """
+
+    request_time: float
+    grant_time: float
+    done_time: float
+
+    @property
+    def wait(self) -> float:
+        """Arbitration/queueing delay before the grant."""
+        return self.grant_time - self.request_time
+
+    @property
+    def total(self) -> float:
+        """Requester-observed bus latency."""
+        return self.done_time - self.request_time
+
+
+class SharedBus:
+    """The shared snoop/L3 bus connecting private L2s, the L3, and memory."""
+
+    #: Payload size used for address-only / control messages (occupies one beat).
+    CONTROL_BYTES = 8
+
+    def __init__(self, config: BusConfig) -> None:
+        config.validate()
+        self.config = config
+        # Busy intervals (start, end), kept sorted by start.  A split-
+        # transaction bus interleaves unrelated transactions between the
+        # address and data phases of an outstanding miss, so a transfer
+        # scheduled far in the future (waiting on DRAM) must not block
+        # earlier traffic: grants are gap-filled, not appended.
+        self._busy: List[Tuple[float, float]] = []
+        self._prune_before = 0.0
+        self.transactions = 0
+        self.busy_cycles = 0.0
+        self.grants_by_requester: Dict[int, int] = {}
+
+    @property
+    def beat_cycles(self) -> float:
+        """CPU cycles per bus beat."""
+        return float(self.config.cycle_latency)
+
+    def occupancy_cycles(self, payload_bytes: int) -> float:
+        """CPU cycles of injection occupancy for a payload."""
+        beats = self.config.transfer_bus_cycles(payload_bytes)
+        return beats * self.beat_cycles
+
+    def end_to_end_cycles(self, payload_bytes: int) -> float:
+        """CPU cycles from grant to completion for a payload."""
+        beats = self.config.transfer_bus_cycles(payload_bytes)
+        return (self.config.stages + beats - 1) * self.beat_cycles
+
+    def transfer(self, at: float, payload_bytes: int, requester: int = 0) -> BusTransaction:
+        """Arbitrate for the bus at time ``at`` and move ``payload_bytes``.
+
+        Returns the grant/done times.  The caller charges the observed wait
+        and transfer time to its BUS component.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        end_to_end = self.end_to_end_cycles(payload_bytes)
+        if self.config.pipelined:
+            # The bus re-opens once the beats are injected.
+            hold = self.occupancy_cycles(payload_bytes)
+        else:
+            hold = end_to_end
+        grant = self._reserve(at, hold)
+        done = grant + end_to_end
+        self.transactions += 1
+        self.busy_cycles += hold
+        self.grants_by_requester[requester] = self.grants_by_requester.get(requester, 0) + 1
+        return BusTransaction(request_time=at, grant_time=grant, done_time=done)
+
+    def _reserve(self, at: float, hold: float) -> float:
+        """First-fit gap allocation of ``hold`` cycles starting at ``at``."""
+        busy = self._busy
+        # Prune intervals that can no longer affect any request.  The
+        # co-simulator bounds how far back in time requests may arrive, so
+        # keeping a generous margin behind the newest request is safe.
+        if busy and at - 20000.0 > self._prune_before:
+            self._prune_before = at - 20000.0
+            cutoff = self._prune_before
+            keep = [iv for iv in busy if iv[1] >= cutoff]
+            busy[:] = keep
+        t = at
+        i = 0
+        n = len(busy)
+        # Find the first interval that could overlap [t, t+hold).
+        while i < n and busy[i][1] <= t:
+            i += 1
+        while i < n and busy[i][0] < t + hold:
+            t = max(t, busy[i][1])
+            i += 1
+        busy.insert(i, (t, t + hold))
+        return t
+
+    def control_message(self, at: float, requester: int = 0) -> BusTransaction:
+        """Send an address-only message (snoop, upgrade, ACK, counter update)."""
+        return self.transfer(at, self.CONTROL_BYTES, requester)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of CPU cycles the bus was occupied, up to ``horizon``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / horizon)

@@ -1,0 +1,88 @@
+"""MESI snoop protocol transition tables.
+
+The hierarchy (:mod:`repro.mem.hierarchy`) implements the snoop-based
+write-invalidate protocol of the baseline machine (Table 2).  This module
+captures the protocol itself as data — the local-event and snoop-event
+transition tables — so the protocol can be unit- and property-tested
+independently of the timing model, and so the hierarchy's behaviour has a
+single authoritative specification to be checked against.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.mem.cache import LineState
+
+
+class LocalEvent(enum.Enum):
+    """Processor-side events at one cache."""
+
+    READ = "read"
+    WRITE = "write"
+    EVICT = "evict"
+
+
+class BusEvent(enum.Enum):
+    """Bus transactions observed by snooping caches."""
+
+    BUS_RD = "BusRd"  # another cache reads
+    BUS_RDX = "BusRdX"  # another cache reads-for-ownership
+    BUS_UPGR = "BusUpgr"  # another cache upgrades S -> M
+
+
+#: (state, local event) -> (next state, bus transaction generated or None)
+LOCAL_TRANSITIONS: Dict[Tuple[LineState, LocalEvent], Tuple[LineState, BusEvent]] = {
+    (LineState.INVALID, LocalEvent.READ): (LineState.EXCLUSIVE, BusEvent.BUS_RD),
+    (LineState.INVALID, LocalEvent.WRITE): (LineState.MODIFIED, BusEvent.BUS_RDX),
+    (LineState.SHARED, LocalEvent.READ): (LineState.SHARED, None),
+    (LineState.SHARED, LocalEvent.WRITE): (LineState.MODIFIED, BusEvent.BUS_UPGR),
+    (LineState.EXCLUSIVE, LocalEvent.READ): (LineState.EXCLUSIVE, None),
+    (LineState.EXCLUSIVE, LocalEvent.WRITE): (LineState.MODIFIED, None),
+    (LineState.MODIFIED, LocalEvent.READ): (LineState.MODIFIED, None),
+    (LineState.MODIFIED, LocalEvent.WRITE): (LineState.MODIFIED, None),
+    (LineState.SHARED, LocalEvent.EVICT): (LineState.INVALID, None),
+    (LineState.EXCLUSIVE, LocalEvent.EVICT): (LineState.INVALID, None),
+    (LineState.MODIFIED, LocalEvent.EVICT): (LineState.INVALID, None),  # + writeback
+}
+
+#: (state, snooped bus event) -> (next state, supplies data?)
+SNOOP_TRANSITIONS: Dict[Tuple[LineState, BusEvent], Tuple[LineState, bool]] = {
+    (LineState.MODIFIED, BusEvent.BUS_RD): (LineState.SHARED, True),
+    (LineState.MODIFIED, BusEvent.BUS_RDX): (LineState.INVALID, True),
+    (LineState.EXCLUSIVE, BusEvent.BUS_RD): (LineState.SHARED, True),
+    (LineState.EXCLUSIVE, BusEvent.BUS_RDX): (LineState.INVALID, True),
+    (LineState.SHARED, BusEvent.BUS_RD): (LineState.SHARED, False),
+    (LineState.SHARED, BusEvent.BUS_RDX): (LineState.INVALID, False),
+    (LineState.SHARED, BusEvent.BUS_UPGR): (LineState.INVALID, False),
+    (LineState.INVALID, BusEvent.BUS_RD): (LineState.INVALID, False),
+    (LineState.INVALID, BusEvent.BUS_RDX): (LineState.INVALID, False),
+    (LineState.INVALID, BusEvent.BUS_UPGR): (LineState.INVALID, False),
+    # Defensive totality: a snooped upgrade cannot occur while we hold E/M
+    # under a correct shared wire (the upgrader held S, implying no E/M
+    # elsewhere), but real controllers treat it as an invalidation.
+    (LineState.EXCLUSIVE, BusEvent.BUS_UPGR): (LineState.INVALID, False),
+    (LineState.MODIFIED, BusEvent.BUS_UPGR): (LineState.INVALID, True),
+}
+
+
+def local_transition(state: LineState, event: LocalEvent):
+    """Apply a processor-side event; returns (next_state, bus_event|None)."""
+    key = (state, event)
+    if key not in LOCAL_TRANSITIONS:
+        raise KeyError(f"no local transition for {state.value}/{event.value}")
+    return LOCAL_TRANSITIONS[key]
+
+
+def snoop_transition(state: LineState, event: BusEvent):
+    """Apply a snooped bus event; returns (next_state, supplies_data)."""
+    key = (state, event)
+    if key not in SNOOP_TRANSITIONS:
+        raise KeyError(f"no snoop transition for {state.value}/{event.value}")
+    return SNOOP_TRANSITIONS[key]
+
+
+def writeback_required(state: LineState, event: LocalEvent) -> bool:
+    """Does this local event trigger a writeback to the next level?"""
+    return state is LineState.MODIFIED and event is LocalEvent.EVICT

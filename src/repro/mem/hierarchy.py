@@ -1,0 +1,440 @@
+"""The CMP memory hierarchy: private L1/L2, shared snoop bus, shared L3, DRAM.
+
+This module is the timing+functional orchestrator.  Every demand access walks
+the same path the paper's baseline machine implements:
+
+``core → L1D (write-through) → private L2 (write-back, OzQ) → shared
+split-transaction bus (snoop write-invalidate) → {remote L2 cache-to-cache |
+shared L3 | main memory}``
+
+Each access returns an :class:`AccessResult` carrying the completion time and
+a :class:`~repro.sim.stats.LatencyBreakdown` that the core model uses to
+attribute exposed stall cycles to the L2/BUS/L3/MEM components of the paper's
+figures.
+
+The hierarchy also implements the producer-initiated **write-forwarding**
+primitive used by MEMOPTI and SYNCOPTI (Section 3.5.1): pushing a finished
+queue line from the producer's L2 into the consumer's L2 (never into L1), and
+the small control messages (occupancy ACKs, upgrades) those designs put on
+the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.mem.bus import SharedBus
+from repro.mem.cache import CacheArray, LineState
+from repro.mem.memory import MainMemory
+from repro.mem.ozq import OzQ
+from repro.sim.config import MachineConfig
+from repro.sim.stats import LatencyBreakdown
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory access.
+
+    Attributes:
+        complete: Time the requested data is available to the core (loads) or
+            the store is globally visible (stores).
+        breakdown: Component attribution of the access latency.
+        level: Where the access was satisfied: "L1", "L2", "remote-L2",
+            "L3", or "MEM".
+        prel2_wait: OzQ backpressure delay suffered before entering the L2,
+            charged to the PreL2 component by the core.
+        ordered: Time the access is *ordered* at the L2 controller.  Memory
+            fences wait for ordering, not global visibility: a store is
+            ordered once the L2 accepts it, even while its ownership request
+            is still in flight (same-line flag/data pairs are ordered by the
+            single RFO that acquires the line).
+    """
+
+    complete: float
+    breakdown: LatencyBreakdown
+    level: str
+    prel2_wait: float = 0.0
+    ordered: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ordered <= 0.0:
+            self.ordered = self.complete
+
+
+class MemorySystem:
+    """Snoop-coherent two-level private + shared-L3 memory system."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.config = config
+        self.n_cores = config.n_cores
+        self.l1d: List[CacheArray] = [
+            CacheArray(config.l1d, name=f"L1D{c}") for c in range(self.n_cores)
+        ]
+        self.l2: List[CacheArray] = [
+            CacheArray(config.l2, name=f"L2-{c}") for c in range(self.n_cores)
+        ]
+        self.l3 = CacheArray(config.l3, name="L3")
+        self.bus = SharedBus(config.bus)
+        self.ozq: List[OzQ] = [
+            OzQ(config.ozq_depth, config.l2_ports, config.recirculation_interval)
+            for _ in range(self.n_cores)
+        ]
+        self.dram = MainMemory(config.main_memory_latency)
+        #: Callback fired when a streaming line is evicted from an L2
+        #: (SYNCOPTI uses this to flush occupancy counts onto the bus).
+        self.on_streaming_eviction: Optional[Callable[[int, int, float], None]] = None
+        # Counters used by tests and the experiment reports.
+        self.loads = 0
+        self.stores = 0
+        self.forwards = 0
+        self.cache_to_cache_transfers = 0
+        self.upgrades = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def l2_line(self, addr: int) -> int:
+        return addr // self.config.l2.line_bytes
+
+    def _l1_lines_of_l2_line(self, l2_line: int) -> range:
+        ratio = self.config.l2.line_bytes // self.config.l1d.line_bytes
+        base = l2_line * ratio
+        return range(base, base + ratio)
+
+    def _invalidate_l1(self, core: int, l2_line: int) -> None:
+        for l1_line in self._l1_lines_of_l2_line(l2_line):
+            self.l1d[core].invalidate(l1_line)
+
+    # ------------------------------------------------------------------
+    # Demand loads
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, at: float, streaming: bool = False) -> AccessResult:
+        """Service a demand load issued by ``core`` at time ``at``."""
+        self.loads += 1
+        l1 = self.l1d[core]
+        l1_line = l1.line_addr(addr)
+        hit = l1.lookup(l1_line)
+        if hit is not None and hit.ready_at <= at:
+            lat = self.config.l1d.latency
+            return AccessResult(
+                complete=at + lat,
+                breakdown=LatencyBreakdown(total=lat),
+                level="L1",
+            )
+        return self._l2_load(core, addr, at, streaming=streaming, fill_l1=not streaming)
+
+    def _l2_load(
+        self, core: int, addr: int, at: float, streaming: bool, fill_l1: bool
+    ) -> AccessResult:
+        """L2-and-below load path (also used by produce/consume accesses)."""
+        ozq = self.ozq[core]
+        line = self.l2_line(addr)
+        l1_lat = self.config.l1d.latency  # L1 miss detection
+        port_req = at + l1_lat
+        port = ozq.acquire_port(port_req, busy=1.0)
+        port_wait = port - port_req
+        l2_done = port + self.config.l2.latency
+        cached = self.l2[core].lookup(line)
+        if cached is not None:
+            # Hit — possibly on a line whose fill (write-forward) is in flight.
+            ready = max(l2_done, cached.ready_at + self.config.l2.latency)
+            pending_fill = max(0.0, ready - l2_done)
+            if fill_l1:
+                self.l1d[core].install(self.l1d[core].line_addr(addr), LineState.SHARED)
+            total = ready - at
+            return AccessResult(
+                complete=ready,
+                breakdown=LatencyBreakdown(
+                    total=int(total),
+                    l2=int(self.config.l2.latency + port_wait),
+                    bus=int(pending_fill),
+                ),
+                level="L2",
+            )
+        # L2 miss: allocate an OzQ entry for the duration of the service.
+        entry_req = port  # entry claimed once the miss is detected
+        entry = ozq.begin_entry(entry_req)
+        prel2_wait = entry - entry_req
+        t = entry + self.config.l2.latency  # tag check / miss detect
+        complete, bd, level = self._miss_service(core, line, t, rfo=False, streaming=streaming)
+        ozq.end_entry(entry, complete)
+        if fill_l1:
+            self.l1d[core].install(self.l1d[core].line_addr(addr), LineState.SHARED)
+        bd.l2 += int(self.config.l2.latency + port_wait)
+        bd.prel2 += int(prel2_wait)
+        bd.total = int(complete - at)
+        return AccessResult(complete=complete, breakdown=bd, level=level, prel2_wait=prel2_wait)
+
+    # ------------------------------------------------------------------
+    # Demand stores
+    # ------------------------------------------------------------------
+
+    def store(self, core: int, addr: int, at: float, streaming: bool = False) -> AccessResult:
+        """Service a store; completion is global visibility (M state + write).
+
+        L1 is write-through/write-no-allocate, so every store takes an L2
+        port.  The core treats stores as non-blocking unless a fence or a
+        flag-visibility dependence exposes the completion time.
+        """
+        self.stores += 1
+        ozq = self.ozq[core]
+        line = self.l2_line(addr)
+        port_req = at + self.config.l1d.latency
+        port = ozq.acquire_port(port_req, busy=1.0)
+        port_wait = port - port_req
+        cached = self.l2[core].lookup(line)
+        if cached is not None and cached.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            cached.state = LineState.MODIFIED
+            cached.streaming = cached.streaming or streaming
+            complete = max(port + self.config.l2.latency, cached.ready_at)
+            self._l1_write_update(core, addr)
+            return AccessResult(
+                complete=complete,
+                breakdown=LatencyBreakdown(
+                    total=int(complete - at), l2=int(self.config.l2.latency + port_wait)
+                ),
+                level="L2",
+            )
+        if cached is not None and cached.state is LineState.SHARED:
+            # Upgrade: invalidate remote sharers with a control message.
+            self.upgrades += 1
+            tx = self.bus.control_message(port + self.config.l2.latency, requester=core)
+            self._invalidate_remote(core, line)
+            cached.state = LineState.MODIFIED
+            cached.streaming = cached.streaming or streaming
+            complete = tx.done_time
+            self._l1_write_update(core, addr)
+            return AccessResult(
+                complete=complete,
+                breakdown=LatencyBreakdown(
+                    total=int(complete - at),
+                    l2=int(self.config.l2.latency + port_wait),
+                    bus=int(tx.total),
+                ),
+                level="L2",
+                ordered=port + self.config.l2.latency,
+            )
+        # Store miss: read-for-ownership.
+        entry_req = port
+        entry = ozq.begin_entry(entry_req)
+        prel2_wait = entry - entry_req
+        t = entry + self.config.l2.latency
+        complete, bd, level = self._miss_service(core, line, t, rfo=True, streaming=streaming)
+        ozq.end_entry(entry, complete)
+        self._l1_write_update(core, addr)
+        bd.l2 += int(self.config.l2.latency + port_wait)
+        bd.prel2 += int(prel2_wait)
+        bd.total = int(complete - at)
+        return AccessResult(
+            complete=complete,
+            breakdown=bd,
+            level=level,
+            prel2_wait=prel2_wait,
+            ordered=entry + self.config.l2.latency,
+        )
+
+    def _l1_write_update(self, core: int, addr: int) -> None:
+        """Write-through update: refresh L1 only if the line is resident."""
+        l1 = self.l1d[core]
+        l1_line = l1.line_addr(addr)
+        if l1.probe(l1_line) is not None:
+            l1.install(l1_line, LineState.SHARED)
+
+    # ------------------------------------------------------------------
+    # Miss service via the shared bus
+    # ------------------------------------------------------------------
+
+    def _miss_service(
+        self, core: int, line: int, at: float, rfo: bool, streaming: bool
+    ):
+        """Snoop the bus and fetch ``line`` from a remote L2, L3, or memory.
+
+        Returns ``(complete, breakdown, level)``.  The requesting L2's own
+        latency contributions are added by the caller.
+        """
+        line_bytes = self.config.l2.line_bytes
+        # Address/snoop phase.
+        req = self.bus.control_message(at, requester=core)
+        t = req.done_time
+        bus_cycles = req.total
+        remote = self._find_remote_owner(core, line)
+        if remote is not None:
+            remote_core, remote_line = remote
+            self.cache_to_cache_transfers += 1
+            # Remote L2 services the snoop: port + array access, then the
+            # line crosses the shared bus (cache-to-cache transfer).
+            rport = self.ozq[remote_core].acquire_port(t, busy=1.0)
+            ready = max(rport + self.config.l2.latency, remote_line.ready_at)
+            data = self.bus.transfer(ready, line_bytes, requester=remote_core)
+            complete = data.done_time
+            bus_cycles += data.total
+            if rfo:
+                self.l2[remote_core].invalidate(line)
+                self._invalidate_l1(remote_core, line)
+            else:
+                self.l2[remote_core].downgrade(line)
+            # Dirty data also refreshes the shared L3 (writeback-on-transfer).
+            self.l3.install(line, LineState.SHARED)
+            level = "remote-L2"
+            remote_l2_cycles = ready - t
+            self._install_l2(
+                core, line, rfo, complete, streaming, shared=not rfo
+            )
+            return complete, LatencyBreakdown(
+                total=0, bus=int(bus_cycles), l2=int(remote_l2_cycles)
+            ), level
+        # Invalidate stale SHARED copies on an RFO even with no owner.
+        if rfo:
+            self._invalidate_remote(core, line)
+        l3_line = self.l3.lookup(line)
+        if l3_line is not None and l3_line.ready_at <= t:
+            ready = t + self.config.l3.latency
+            data = self.bus.transfer(ready, line_bytes, requester=core)
+            complete = data.done_time
+            bus_cycles += data.total
+            self._install_l2(core, line, rfo, complete, streaming, shared=False)
+            return complete, LatencyBreakdown(
+                total=0, bus=int(bus_cycles), l3=self.config.l3.latency
+            ), "L3"
+        # Main memory.
+        ready = self.dram.access(line, t + self.config.l3.latency)
+        data = self.bus.transfer(ready, line_bytes, requester=core)
+        complete = data.done_time
+        bus_cycles += data.total
+        self.l3.install(line, LineState.SHARED)
+        self._install_l2(core, line, rfo, complete, streaming, shared=False)
+        return complete, LatencyBreakdown(
+            total=0,
+            bus=int(bus_cycles),
+            l3=self.config.l3.latency,
+            mem=int(ready - (t + self.config.l3.latency)),
+        ), "MEM"
+
+    def _find_remote_owner(self, core: int, line: int):
+        """Find a remote L2 holding ``line`` in M or E state."""
+        for other in range(self.n_cores):
+            if other == core:
+                continue
+            cached = self.l2[other].probe(line)
+            if cached is not None and cached.state in (
+                LineState.MODIFIED,
+                LineState.EXCLUSIVE,
+            ):
+                return other, cached
+        return None
+
+    def _invalidate_remote(self, core: int, line: int) -> None:
+        for other in range(self.n_cores):
+            if other == core:
+                continue
+            if self.l2[other].invalidate(line) is not None:
+                self._invalidate_l1(other, line)
+
+    def _install_l2(
+        self, core: int, line: int, rfo: bool, ready: float, streaming: bool, shared: bool
+    ) -> None:
+        if rfo:
+            state = LineState.MODIFIED
+        else:
+            state = LineState.SHARED if shared else LineState.EXCLUSIVE
+        victim = self.l2[core].install(line, state, ready_at=ready, streaming=streaming)
+        self._handle_victim(core, victim, ready)
+
+    def _handle_victim(self, core: int, victim, at: float) -> None:
+        if victim is None:
+            return
+        self._invalidate_l1(core, victim.line_addr)
+        if victim.dirty:
+            # Writeback occupies the bus but is off the requester's critical path.
+            self.bus.transfer(at, self.config.l2.line_bytes, requester=core)
+            self.l3.install(victim.line_addr, LineState.SHARED)
+        if victim.streaming and self.on_streaming_eviction is not None:
+            self.on_streaming_eviction(core, victim.line_addr, at)
+
+    # ------------------------------------------------------------------
+    # Streaming support primitives
+    # ------------------------------------------------------------------
+
+    def forward_line(
+        self,
+        src: int,
+        dst: int,
+        addr: int,
+        at: float,
+        release_src: bool = False,
+        contend_ports: bool = True,
+    ) -> float:
+        """Producer-initiated write-forward of a full queue line (§3.5.1).
+
+        Pushes the L2 line containing ``addr`` from ``src``'s L2 into
+        ``dst``'s L2 (never into L1), returning the arrival time.  The push
+        occupies an OzQ entry and L2 ports at the source; while it waits for
+        the bus it recirculates, churning source ports — the behaviour that
+        makes MEMOPTI lose to EXISTING under port pressure (Section 4.4).
+
+        Args:
+            release_src: Invalidate the source copy (SYNCOPTI's ownership
+                hand-off) instead of downgrading it to SHARED (MEMOPTI).
+            contend_ports: Model source-side recirculation while waiting.
+        """
+        self.forwards += 1
+        line = self.l2_line(addr)
+        ozq = self.ozq[src]
+        entry = ozq.begin_entry(at)
+        port = ozq.acquire_port(entry, busy=1.0)
+        ready = port + self.config.l2.latency
+        tx = self.bus.transfer(ready, self.config.l2.line_bytes, requester=src)
+        if contend_ports and tx.grant_time > ready:
+            ozq.recirculate(ready, tx.grant_time)
+        arrival = tx.done_time
+        ozq.end_entry(entry, arrival)
+        src_line = self.l2[src].probe(line)
+        if src_line is not None:
+            if release_src:
+                self.l2[src].invalidate(line)
+                self._invalidate_l1(src, line)
+            else:
+                src_line.state = LineState.SHARED
+        state = LineState.EXCLUSIVE if release_src else LineState.SHARED
+        victim = self.l2[dst].install(line, state, ready_at=arrival, streaming=True)
+        self._handle_victim(dst, victim, arrival)
+        return arrival
+
+    def observe_update(self, core: int, addr: int, at: float) -> float:
+        """A spinning core observes a remote write to ``addr``'s line.
+
+        The spin load is an outstanding, recirculating transaction; when the
+        other core's flag write lands at ``at``, the refetch completes with a
+        line transfer installing the line SHARED at the spinner.  Returns the
+        line-arrival time (the flag *value* is observable earlier, via the
+        snoop round the caller charges separately).
+        """
+        line = self.l2_line(addr)
+        tx = self.bus.transfer(at, self.config.l2.line_bytes, requester=core)
+        owner = self._find_remote_owner(core, line)
+        if owner is not None:
+            self.l2[owner[0]].downgrade(line)
+        victim = self.l2[core].install(
+            line, LineState.SHARED, ready_at=tx.done_time, streaming=True
+        )
+        self._handle_victim(core, victim, tx.done_time)
+        return tx.done_time
+
+    def stream_load(self, core: int, addr: int, at: float) -> AccessResult:
+        """L2-direct load used by SYNCOPTI consume instructions.
+
+        Stream accesses bypass the L1 entirely (queue data is never cached
+        there) — the consume's stream address logic hands the access straight
+        to the L2, where synchronization counters live.
+        """
+        self.loads += 1
+        return self._l2_load(core, addr, at, streaming=True, fill_l1=False)
+
+    def control_ack(self, core: int, at: float) -> float:
+        """Small bus message (occupancy-counter update / bulk ACK)."""
+        tx = self.bus.control_message(at, requester=core)
+        return tx.done_time

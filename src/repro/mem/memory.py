@@ -1,0 +1,38 @@
+"""Main-memory (DRAM) timing model.
+
+The paper's baseline charges 141 cycles for main memory (Table 2).  We model
+a small number of banks so that memory-intensive workloads (181.mcf,
+183.equake) see queueing under load — the effect that makes them sensitive
+to bus/memory pressure in the Figure 10 sensitivity study.
+"""
+
+from __future__ import annotations
+
+from repro.sim.resources import UnitPool
+
+
+class MainMemory:
+    """Fixed-latency DRAM with per-bank occupancy."""
+
+    def __init__(self, latency: int, n_banks: int = 8, bank_busy: int = 24) -> None:
+        if latency <= 0:
+            raise ValueError("memory latency must be positive")
+        if n_banks <= 0:
+            raise ValueError("need at least one bank")
+        self.latency = latency
+        self.n_banks = n_banks
+        self.bank_busy = bank_busy
+        self._banks = [UnitPool(1, name=f"bank{i}") for i in range(n_banks)]
+        self.accesses = 0
+
+    def access(self, line_addr: int, at: float) -> float:
+        """Start a line fetch at ``at``; returns the data-ready time."""
+        self.accesses += 1
+        bank = self._banks[line_addr % self.n_banks]
+        grant = bank.acquire(at, busy=float(self.bank_busy))
+        return grant + self.latency
+
+    def queueing_delay(self, line_addr: int, at: float) -> float:
+        """How long a request arriving now would wait for its bank."""
+        bank = self._banks[line_addr % self.n_banks]
+        return max(0.0, bank.earliest_grant(at) - at)

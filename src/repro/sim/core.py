@@ -1,0 +1,333 @@
+"""In-order multi-issue core timing model with COMM-OP expansion hooks.
+
+The core consumes a thread's dynamic instruction stream and assigns each
+instruction an issue timestamp subject to: in-order issue at ``issue_width``
+per cycle, register dependences (scoreboard), functional-unit and memory-port
+structural hazards, memory-fence ordering, and — for PRODUCE/CONSUME
+macro-ops — the active communication mechanism's expansion, which may insert
+overhead micro-ops, touch the memory hierarchy, and block on queue state.
+
+Stall attribution follows the paper's component taxonomy: time waiting on a
+value returned by the memory system is charged using that access's
+L2/BUS/L3/MEM mix; front-end, resource, queue-blocking and OzQ-backpressure
+stalls are charged to ``PreL2``; retire bandwidth for every committed
+instruction is charged to ``PostL2``; the residual issue pacing is
+``COMPUTE``.  Attribution is necessarily approximate in the presence of
+overlap — the reporting layer normalizes component *shares*, exactly as the
+paper's stacked bars do.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Tuple
+
+from repro.sim.isa import COMM_KINDS, DynInst, InstrKind
+from repro.sim.resources import UnitPool
+from repro.sim.stats import LatencyBreakdown, ThreadStats
+
+#: How many instructions a core may run between scheduler heartbeats.  Comm
+#: macro-ops always synchronize, so this only bounds timestamp skew between
+#: cores on communication-free stretches.
+YIELD_INTERVAL = 64
+
+
+class _Scoreboard:
+    """Register ready-times plus the latency mix that produced each value."""
+
+    __slots__ = ("_ready", "_mix")
+
+    def __init__(self) -> None:
+        self._ready = {}
+        self._mix = {}
+
+    def ready(self, regs) -> float:
+        t = 0.0
+        for r in regs:
+            rt = self._ready.get(r, 0.0)
+            if rt > t:
+                t = rt
+        return t
+
+    def dominant_mix(self, regs, at: float) -> Optional[LatencyBreakdown]:
+        """Breakdown of the operand that is last to arrive (None if ALU)."""
+        best_t, best_mix = -1.0, None
+        for r in regs:
+            rt = self._ready.get(r, 0.0)
+            if rt > best_t:
+                best_t = rt
+                best_mix = self._mix.get(r)
+        return best_mix
+
+    def define(self, reg: int, at: float, mix: Optional[LatencyBreakdown] = None) -> None:
+        self._ready[reg] = at
+        if mix is not None:
+            self._mix[reg] = mix
+        else:
+            self._mix.pop(reg, None)
+
+
+class CoreModel:
+    """Timing model of one in-order core."""
+
+    def __init__(self, core_id: int, machine) -> None:
+        self.core_id = core_id
+        self.machine = machine
+        cfg = machine.config.core
+        self.config = machine.config
+        self.stats = ThreadStats(thread_id=core_id)
+        self.scoreboard = _Scoreboard()
+        self.ialu = UnitPool(cfg.n_ialu, name=f"c{core_id}-ialu")
+        self.falu = UnitPool(cfg.n_falu, name=f"c{core_id}-falu")
+        self.branch = UnitPool(cfg.n_branch, name=f"c{core_id}-branch")
+        self.mem_ports = UnitPool(cfg.n_mem_ports, name=f"c{core_id}-mem")
+        self._pace = 1.0 / cfg.issue_width
+        self._commit_cost = 1.0 / cfg.commit_width
+        self.t_issue = 0.0
+        self.fence_ready = 0.0
+        #: (complete, breakdown) of stores not yet covered by a fence.
+        self.pending_stores = []
+        #: Latest completion of any instruction (drain horizon).
+        self.horizon = 0.0
+        self.instructions_run = 0
+
+    # ------------------------------------------------------------------
+    # Public helpers used by communication mechanisms
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.t_issue
+
+    def charge(self, component: str, cycles: float) -> None:
+        self.stats.charge(component, cycles)
+
+    def stall_until(
+        self, t: float, mix: Optional[LatencyBreakdown] = None, component: str = "PreL2"
+    ) -> None:
+        """Advance the issue clock to ``t``, attributing the stall.
+
+        With a ``mix``, the stall takes the memory-access component shares of
+        that breakdown; otherwise it is charged to ``component``.
+        """
+        gap = t - self.t_issue
+        if gap <= 0:
+            return
+        if mix is not None:
+            self.stats.charge_breakdown(mix, gap)
+        else:
+            self.charge(component, gap)
+        self.t_issue = t
+
+    def retire(self, n: int = 1, overhead: bool = False) -> None:
+        """Account for ``n`` committed instructions (PostL2 bandwidth)."""
+        if overhead:
+            self.stats.comm_instructions += n
+        else:
+            self.stats.app_instructions += n
+        self.charge("PostL2", n * self._commit_cost)
+
+    def overhead_alu(self, n: int, dep_height: int = 1) -> float:
+        """Issue ``n`` overhead ALU/branch ops with the given chain height.
+
+        Returns the completion time of the dependence chain.  Used by the
+        software-queue expansion (compares, branches, pointer updates).
+        """
+        if n <= 0:
+            return self.t_issue
+        start = self.t_issue
+        for _ in range(n):
+            grant = self.ialu.acquire(self.t_issue + self._pace, busy=1.0)
+            self.charge("COMPUTE", self._pace)
+            self.charge("PreL2", max(0.0, grant - (self.t_issue + self._pace)))
+            self.t_issue = grant
+        self.retire(n, overhead=True)
+        complete = max(self.t_issue, start + dep_height)
+        self.horizon = max(self.horizon, complete)
+        return complete
+
+    def overhead_load(
+        self, addr: int, at: Optional[float] = None, streaming: bool = True
+    ):
+        """Issue one overhead load; returns the AccessResult (not exposed yet)."""
+        issue = self._issue_mem_slot(at)
+        result = self.machine.mem.load(self.core_id, addr, issue, streaming=streaming)
+        self.retire(1, overhead=True)
+        self.horizon = max(self.horizon, result.complete)
+        return result
+
+    def overhead_store(
+        self, addr: int, at: Optional[float] = None, streaming: bool = True
+    ):
+        """Issue one overhead store; returns the AccessResult."""
+        issue = self._issue_mem_slot(at)
+        result = self.machine.mem.store(self.core_id, addr, issue, streaming=streaming)
+        self.pending_stores.append((result.ordered, result.breakdown))
+        self.retire(1, overhead=True)
+        self.horizon = max(self.horizon, result.complete)
+        return result
+
+    def spin_wait(self, until: float, mix: LatencyBreakdown, instrs_per_spin: int = 2) -> int:
+        """Model a software spin loop from ``now`` until ``until``.
+
+        Each spin iteration re-executes the flag load + branch, flowing
+        through the pipeline and recirculating through the OzQ, occupying L2
+        ports (Section 4.4).  The whole window is charged using ``mix`` —
+        the coherence-fetch component shares of the spun-on flag load.
+        Returns the number of spin iterations modeled.
+        """
+        start = self.t_issue
+        if until <= start:
+            return 0
+        interval = self.config.recirculation_interval
+        n = max(1, int((until - start) / interval))
+        self.machine.mem.ozq[self.core_id].recirculate(start, until)
+        self.stats.spin_reissues += n
+        self.retire(n * instrs_per_spin, overhead=True)
+        self.stall_until(until, mix)
+        return n
+
+    def overhead_fence(self) -> None:
+        """Issue a memory fence as part of a comm-op expansion."""
+        self._do_fence(overhead=True)
+
+    def _issue_mem_slot(self, at: Optional[float] = None) -> float:
+        """Advance the issue clock through a memory-port issue slot."""
+        target = max(self.t_issue + self._pace, at if at is not None else 0.0, self.fence_ready)
+        grant = self.mem_ports.acquire(target, busy=1.0)
+        self.charge("COMPUTE", self._pace)
+        self.charge("PreL2", max(0.0, grant - target))
+        self.t_issue = grant
+        return grant
+
+    def issue_comm_slot(self, inst: DynInst) -> float:
+        """Issue a PRODUCE/CONSUME instruction in-order.
+
+        Like any instruction on an in-order core, a communication op cannot
+        issue before its source operands are ready — a produce of a value
+        still in flight from a cache miss stalls the pipe at issue, exposing
+        that miss's latency in the producer thread.
+        """
+        floor = self.t_issue + self._pace
+        self.charge("COMPUTE", self._pace)
+        op_ready = self.scoreboard.ready(inst.srcs) if inst.srcs else 0.0
+        start = max(floor, self.fence_ready)
+        if op_ready > start:
+            mix = self.scoreboard.dominant_mix(inst.srcs, op_ready)
+            wait = op_ready - start
+            if mix is not None:
+                self.stats.charge_breakdown(mix, wait)
+            else:
+                self.charge("PreL2", wait)
+            start = op_ready
+        grant = self.mem_ports.acquire(start, busy=1.0)
+        self.charge("PreL2", max(0.0, grant - start))
+        self.t_issue = grant
+        return grant
+
+    # ------------------------------------------------------------------
+    # Main execution loop
+    # ------------------------------------------------------------------
+
+    def run(self, program: Iterable[DynInst]) -> Generator:
+        """Generator executing ``program``; yields cosim protocol messages."""
+        for inst in program:
+            if inst.kind in COMM_KINDS:
+                yield ("time", self.t_issue)
+                yield from self._comm(inst)
+            else:
+                self._plain(inst)
+            self.instructions_run += 1
+            if self.instructions_run % YIELD_INTERVAL == 0:
+                yield ("time", self.t_issue)
+        self._finish()
+        yield ("time", self.stats.cycles)
+
+    # ------------------------------------------------------------------
+
+    def _pool_for(self, kind: InstrKind) -> Tuple[UnitPool, float]:
+        if kind is InstrKind.IALU or kind is InstrKind.NOP or kind is InstrKind.FENCE:
+            return self.ialu, 1.0
+        if kind is InstrKind.FALU:
+            return self.falu, 1.0
+        if kind is InstrKind.BRANCH:
+            return self.branch, 1.0
+        return self.mem_ports, 1.0
+
+    def _issue(self, inst: DynInst) -> float:
+        """Compute and book the issue time of a plain instruction."""
+        floor = self.t_issue + self._pace
+        self.charge("COMPUTE", self._pace)
+        op_ready = self.scoreboard.ready(inst.srcs) if inst.srcs else 0.0
+        start = max(floor, self.fence_ready)
+        if op_ready > start:
+            mix = self.scoreboard.dominant_mix(inst.srcs, op_ready)
+            wait = op_ready - start
+            if mix is not None:
+                self.stats.charge_breakdown(mix, wait)
+            else:
+                self.charge("PreL2", wait)
+            start = op_ready
+        pool, busy = self._pool_for(inst.kind)
+        grant = pool.acquire(start, busy=busy)
+        self.charge("PreL2", max(0.0, grant - start))
+        self.t_issue = grant
+        return grant
+
+    def _plain(self, inst: DynInst) -> None:
+        kind = inst.kind
+        if kind is InstrKind.FENCE:
+            self._do_fence(overhead=inst.is_overhead)
+            return
+        issue = self._issue(inst)
+        if kind is InstrKind.LOAD:
+            result = self.machine.mem.load(
+                self.core_id, inst.addr, issue, streaming=False
+            )
+            if inst.dest is not None:
+                self.scoreboard.define(inst.dest, result.complete, result.breakdown)
+            self.horizon = max(self.horizon, result.complete)
+        elif kind is InstrKind.STORE:
+            result = self.machine.mem.store(
+                self.core_id, inst.addr, issue, streaming=False
+            )
+            self.pending_stores.append((result.ordered, result.breakdown))
+            self.horizon = max(self.horizon, result.complete)
+        elif kind is InstrKind.PREFETCH:
+            self.machine.mem.load(self.core_id, inst.addr, issue, streaming=False)
+        else:
+            complete = issue + inst.exec_latency()
+            if inst.dest is not None:
+                self.scoreboard.define(inst.dest, complete)
+            self.horizon = max(self.horizon, complete)
+        self.retire(1, overhead=inst.is_overhead)
+
+    def _do_fence(self, overhead: bool) -> None:
+        """Stall issue until all prior stores are globally visible."""
+        grant = self.ialu.acquire(self.t_issue + self._pace, busy=1.0)
+        self.charge("COMPUTE", self._pace)
+        self.t_issue = grant
+        if self.pending_stores:
+            worst_t, worst_mix = max(self.pending_stores, key=lambda p: p[0])
+            if worst_t > self.t_issue:
+                self.stats.charge_breakdown(worst_mix, worst_t - self.t_issue)
+                self.t_issue = worst_t
+            self.pending_stores.clear()
+        self.fence_ready = self.t_issue
+        self.retire(1, overhead=overhead)
+
+    def _comm(self, inst: DynInst) -> Generator:
+        """Dispatch a PRODUCE/CONSUME macro-op to the mechanism."""
+        mech = self.machine.mechanism
+        if inst.kind is InstrKind.PRODUCE:
+            self.stats.produces += 1
+            yield from mech.produce(self, inst)
+        else:
+            self.stats.consumes += 1
+            yield from mech.consume(self, inst)
+
+    def _finish(self) -> None:
+        """Drain: the thread ends when its last effect completes."""
+        end = max(self.t_issue + 1.0, self.horizon)
+        if self.pending_stores:
+            end = max(end, max(t for t, _ in self.pending_stores))
+        self.stats.cycles = int(round(end))

@@ -1,0 +1,161 @@
+"""Conservative min-timestamp co-simulation of multiple core models.
+
+Each core's timing model runs as a Python generator that yields control
+messages; the scheduler always advances the runnable core with the smallest
+local time, which guarantees that whenever a core touches shared state
+(caches, bus, queue channels) at time *t*, every other core has either
+advanced past *t* or is blocked waiting on this core — so shared state is
+read and written in (approximately) timestamp order without any global clock
+stepping.
+
+Yield protocol (producer side is the core/mechanism code):
+
+* ``("time", t)`` — heartbeat: the core's local clock reached ``t``.
+* ``("block", predicate, deadline)`` — the core cannot proceed until
+  ``predicate()`` (a closure over shared channel state) becomes true.  The
+  scheduler resumes the generator with ``"ok"`` once the predicate holds, or
+  with ``"timeout"`` when ``deadline`` (a simulated time, or ``None``) passes
+  without the predicate holding — used by SYNCOPTI's partial-line timeout.
+
+A generator finishing (``StopIteration``) marks its core done.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple
+
+
+class DeadlockError(RuntimeError):
+    """All live cores are blocked and no deadline can fire."""
+
+
+class SimulationLimitError(RuntimeError):
+    """The scheduler exceeded its step budget (runaway program)."""
+
+
+class _State(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class CoreRunner:
+    """Book-keeping wrapper around one core generator."""
+
+    core_id: int
+    gen: Generator
+    time: float = 0.0
+    state: _State = _State.RUNNABLE
+    predicate: Optional[Callable[[], bool]] = None
+    deadline: Optional[float] = None
+    resume_value: Optional[str] = None
+    steps: int = 0
+
+
+class Scheduler:
+    """Min-timestamp scheduler over a set of core generators."""
+
+    def __init__(self, generators, max_steps: int = 50_000_000) -> None:
+        self.runners: List[CoreRunner] = [
+            CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
+        ]
+        self.max_steps = max_steps
+        self.total_steps = 0
+
+    def run(self) -> None:
+        """Drive all cores to completion."""
+        while True:
+            self._wake_ready()
+            runnable = [r for r in self.runners if r.state is _State.RUNNABLE]
+            if not runnable:
+                if all(r.state is _State.DONE for r in self.runners):
+                    return
+                if not self._fire_timeout():
+                    self._raise_deadlock()
+                continue
+            runner = min(runnable, key=lambda r: r.time)
+            self._step(runner)
+
+    # ------------------------------------------------------------------
+
+    def _wake_ready(self) -> None:
+        for r in self.runners:
+            if r.state is not _State.BLOCKED:
+                continue
+            if r.predicate is not None and r.predicate():
+                self._wake(r, "ok")
+            elif r.deadline is not None and self._others_past(r, r.deadline):
+                self._wake(r, "timeout")
+
+    def _others_past(self, runner: CoreRunner, deadline: float) -> bool:
+        """True when no other core can produce an event before ``deadline``."""
+        for other in self.runners:
+            if other is runner:
+                continue
+            if other.state is _State.DONE:
+                continue
+            if other.state is _State.RUNNABLE and other.time <= deadline:
+                return False
+            if other.state is _State.BLOCKED:
+                # A blocked peer could be woken by us later; treat its
+                # current time as its earliest possible event time.
+                if other.time <= deadline:
+                    return False
+        return True
+
+    def _wake(self, runner: CoreRunner, value: str) -> None:
+        runner.state = _State.RUNNABLE
+        runner.resume_value = value
+        runner.predicate = None
+        runner.deadline = None
+
+    def _fire_timeout(self) -> bool:
+        """With everyone blocked, fire the earliest deadline, if any."""
+        candidates = [
+            r for r in self.runners if r.state is _State.BLOCKED and r.deadline is not None
+        ]
+        if not candidates:
+            return False
+        self._wake(min(candidates, key=lambda r: r.deadline), "timeout")
+        return True
+
+    def _raise_deadlock(self) -> None:
+        blocked = [r.core_id for r in self.runners if r.state is _State.BLOCKED]
+        raise DeadlockError(
+            f"cores {blocked} are blocked with no satisfiable predicate — "
+            "produce/consume counts are mismatched or a queue dependency cycle exists"
+        )
+
+    def _step(self, runner: CoreRunner) -> None:
+        self.total_steps += 1
+        runner.steps += 1
+        if self.total_steps > self.max_steps:
+            raise SimulationLimitError(
+                f"exceeded {self.max_steps} scheduler steps; "
+                "suspected runaway workload"
+            )
+        try:
+            msg = runner.gen.send(runner.resume_value)
+        except StopIteration:
+            runner.state = _State.DONE
+            return
+        finally:
+            runner.resume_value = None
+        if not isinstance(msg, tuple) or not msg:
+            raise TypeError(f"core {runner.core_id} yielded malformed message {msg!r}")
+        kind = msg[0]
+        if kind == "time":
+            runner.time = max(runner.time, float(msg[1]))
+        elif kind == "block":
+            _, predicate, deadline = msg
+            if predicate():
+                runner.resume_value = "ok"  # condition already satisfied
+            else:
+                runner.state = _State.BLOCKED
+                runner.predicate = predicate
+                runner.deadline = deadline
+        else:
+            raise ValueError(f"core {runner.core_id} yielded unknown message {msg!r}")

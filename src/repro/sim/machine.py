@@ -1,0 +1,92 @@
+"""The top-level simulated CMP: cores + memory hierarchy + mechanism.
+
+``Machine`` wires a :class:`~repro.sim.config.MachineConfig` into core timing
+models, the coherent memory hierarchy, and one communication mechanism, then
+co-simulates a :class:`~repro.sim.program.Program` to completion, returning
+per-thread statistics.
+
+Typical use::
+
+    from repro import Machine, baseline_config
+    machine = Machine(baseline_config(), mechanism="syncopti")
+    stats = machine.run(program)
+    print(stats.cycles, stats.producer.components)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.mechanism import create_mechanism
+
+# Importing the implementations registers them.
+from repro.core import heavywt as _heavywt  # noqa: F401
+from repro.core import software_queue as _software_queue  # noqa: F401
+from repro.core import stream_cache as _stream_cache  # noqa: F401
+from repro.core import syncopti as _syncopti  # noqa: F401
+from repro.core import write_forwarding as _write_forwarding  # noqa: F401
+from repro.core.queue_model import QueueChannel
+from repro.mem.hierarchy import MemorySystem
+from repro.sim.config import MachineConfig
+from repro.sim.core import CoreModel
+from repro.sim.cosim import Scheduler
+from repro.sim.program import Program
+from repro.sim.stats import RunStats
+
+
+class Machine:
+    """A configured CMP instance; single-use per ``run`` for clean state."""
+
+    def __init__(self, config: MachineConfig, mechanism: str = "existing") -> None:
+        self.config = config.validate()
+        self.mem = MemorySystem(config)
+        self.mechanism = create_mechanism(mechanism, self)
+        self.mem.on_streaming_eviction = self.mechanism.on_streaming_eviction
+        self.cores = [CoreModel(i, self) for i in range(config.n_cores)]
+        self.channels: Dict[int, QueueChannel] = {}
+        self._ran = False
+
+    def channel(self, queue_id: int) -> QueueChannel:
+        """Get (or lazily create) the channel for one architectural queue."""
+        ch = self.channels.get(queue_id)
+        if ch is None:
+            if queue_id >= self.config.queues.n_queues:
+                raise ValueError(
+                    f"queue {queue_id} exceeds the configured "
+                    f"{self.config.queues.n_queues} queues"
+                )
+            ch = QueueChannel(layout=self.mechanism.layout_for(queue_id))
+            self.channels[queue_id] = ch
+        return ch
+
+    def run(self, program: Program, max_steps: int = 50_000_000) -> RunStats:
+        """Co-simulate ``program`` to completion; returns per-thread stats."""
+        if self._ran:
+            raise RuntimeError(
+                "a Machine accumulates cache/queue state; build a fresh one per run"
+            )
+        self._ran = True
+        if program.n_threads > self.config.n_cores:
+            raise ValueError(
+                f"program has {program.n_threads} threads but the machine "
+                f"has {self.config.n_cores} cores"
+            )
+        for queue_id, (producer, consumer) in program.queue_endpoints.items():
+            ch = self.channel(queue_id)
+            ch.producer_core = producer
+            ch.consumer_core = consumer
+        generators = [
+            self.cores[i].run(thread.instructions())
+            for i, thread in enumerate(program.threads)
+        ]
+        Scheduler(generators, max_steps=max_steps).run()
+        return RunStats(
+            threads=[self.cores[i].stats for i in range(program.n_threads)]
+        )
+
+
+def run_program(
+    config: MachineConfig, mechanism: str, program: Program, max_steps: int = 50_000_000
+) -> RunStats:
+    """One-shot convenience: build a Machine, run, return stats."""
+    return Machine(config, mechanism=mechanism).run(program, max_steps=max_steps)

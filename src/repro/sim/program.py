@@ -1,0 +1,53 @@
+"""Multi-threaded program representation consumed by the Machine.
+
+A :class:`Program` bundles one dynamic-instruction-stream builder per thread
+with the queue endpoint table (which thread produces into and which consumes
+from each architectural queue).  Builders are zero-argument callables
+returning fresh iterators, so a program can be run multiple times (and on
+multiple configurations) deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.sim.isa import DynInst
+
+
+@dataclass
+class ThreadProgram:
+    """One thread's instruction stream."""
+
+    name: str
+    builder: Callable[[], Iterator[DynInst]]
+
+    def instructions(self) -> Iterator[DynInst]:
+        return self.builder()
+
+
+@dataclass
+class Program:
+    """A complete multi-threaded streaming program."""
+
+    name: str
+    threads: List[ThreadProgram]
+    #: queue id -> (producer thread index, consumer thread index)
+    queue_endpoints: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise ValueError("a program needs at least one thread")
+        n = len(self.threads)
+        for qid, (prod, cons) in self.queue_endpoints.items():
+            if not (0 <= prod < n and 0 <= cons < n):
+                raise ValueError(f"queue {qid} endpoints {(prod, cons)} out of range")
+            if prod == cons:
+                raise ValueError(f"queue {qid} endpoints must be distinct threads")
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def is_single_threaded(self) -> bool:
+        return len(self.threads) == 1

@@ -1,0 +1,206 @@
+"""Per-thread statistics and critical-path component attribution.
+
+The paper's breakdown bars (Figures 7, 10, 11, 12) split each thread's
+execution time into non-overlappable components:
+
+* ``PreL2``  — main-pipe stalls before the L2 (issue stalls, OzQ backpressure,
+  queue-full/empty blocking, fences).
+* ``L2``     — time spent in the L2 cache (hits, port contention,
+  recirculation churn).
+* ``BUS``    — time on the shared bus (arbitration, snoops, data transfer).
+* ``L3``     — time in the shared L3.
+* ``MEM``    — main-memory time.
+* ``PostL2`` — stages following the L2: L1 fill, writeback/commit.  Designs
+  that commit many overhead instructions (software queues) pay here.
+
+We additionally track a ``COMPUTE`` component (cycles the core is doing
+useful, non-stalled work) so components always sum to the thread's execution
+time, and a rich set of event counters used by tests and the Figure 8 ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+#: Ordered component names, bottom-to-top as stacked in the paper's figures.
+COMPONENTS = ("COMPUTE", "PreL2", "L2", "BUS", "L3", "MEM", "PostL2")
+
+#: Components that come from memory-access latency breakdowns.
+MEMORY_COMPONENTS = ("L2", "BUS", "L3", "MEM")
+
+
+@dataclass
+class LatencyBreakdown:
+    """Where the cycles of one memory access were spent.
+
+    ``total`` may exceed the sum of the named components (e.g. L1-hit cycles
+    or stream-address generation are folded into the issuing core's view);
+    the residual is charged to the consuming instruction's compute time.
+    """
+
+    total: int = 0
+    l2: int = 0
+    bus: int = 0
+    l3: int = 0
+    mem: int = 0
+    #: Front-end/queue-blocking share (queue-empty waits folded into a
+    #: consume's defining mix charge to PreL2).
+    prel2: int = 0
+
+    def __add__(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            total=self.total + other.total,
+            l2=self.l2 + other.l2,
+            bus=self.bus + other.bus,
+            l3=self.l3 + other.l3,
+            mem=self.mem + other.mem,
+            prel2=self.prel2 + other.prel2,
+        )
+
+    def residual(self) -> int:
+        """Cycles not attributed to any named component."""
+        return max(0, self.total - (self.l2 + self.bus + self.l3 + self.mem + self.prel2))
+
+    def scaled_to(self, cycles: int) -> "LatencyBreakdown":
+        """Proportionally rescale the named components to ``cycles`` total.
+
+        Used when only part of an access's latency is exposed on the critical
+        path (the rest overlapped with other work): the exposure keeps the
+        access's component *mix* but the exposed magnitude.
+        """
+        if cycles <= 0 or self.total <= 0:
+            return LatencyBreakdown()
+        f = min(1.0, cycles / self.total)
+        return LatencyBreakdown(
+            total=cycles,
+            l2=int(round(self.l2 * f)),
+            bus=int(round(self.bus * f)),
+            l3=int(round(self.l3 * f)),
+            mem=int(round(self.mem * f)),
+            prel2=int(round(self.prel2 * f)),
+        )
+
+
+@dataclass
+class ThreadStats:
+    """Counters and component attribution for one thread of a run."""
+
+    thread_id: int = 0
+    #: Total simulated execution cycles of this thread.
+    cycles: int = 0
+    #: Committed *application* instructions (kernel work).
+    app_instructions: int = 0
+    #: Committed communication/synchronization overhead instructions.
+    comm_instructions: int = 0
+    #: Number of PRODUCE macro-ops executed.
+    produces: int = 0
+    #: Number of CONSUME macro-ops executed.
+    consumes: int = 0
+    #: Cycles stalled because a produce found its queue full.
+    queue_full_stall: int = 0
+    #: Cycles stalled because a consume found its queue empty.
+    queue_empty_stall: int = 0
+    #: Spin-loop flag-load reissues (software-queue designs).
+    spin_reissues: int = 0
+    #: OzQ-full backpressure events.
+    ozq_backpressure_events: int = 0
+    #: Stream-cache hits / misses (SC designs).
+    stream_cache_hits: int = 0
+    stream_cache_misses: int = 0
+    #: Write-forwarded lines sent (producer side).
+    lines_forwarded: int = 0
+    #: Critical-path component attribution, cycles per component.
+    components: Dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in COMPONENTS}
+    )
+
+    def charge(self, component: str, cycles: float) -> None:
+        """Attribute ``cycles`` of critical-path time to ``component``."""
+        if component not in self.components:
+            raise KeyError(f"unknown component {component!r}")
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.components[component] += cycles
+
+    def charge_breakdown(self, bd: LatencyBreakdown, exposed: float) -> None:
+        """Attribute an exposed memory latency using the access's mix."""
+        if exposed <= 0:
+            return
+        scaled = bd.scaled_to(int(round(exposed)))
+        self.charge("L2", scaled.l2)
+        self.charge("BUS", scaled.bus)
+        self.charge("L3", scaled.l3)
+        self.charge("MEM", scaled.mem)
+        self.charge("PreL2", scaled.prel2)
+        named = scaled.l2 + scaled.bus + scaled.l3 + scaled.mem + scaled.prel2
+        self.charge("COMPUTE", max(0.0, exposed - named))
+
+    @property
+    def total_instructions(self) -> int:
+        return self.app_instructions + self.comm_instructions
+
+    @property
+    def comm_to_app_ratio(self) -> float:
+        """Figure 8's y-axis: communication vs application instructions."""
+        if self.app_instructions == 0:
+            return 0.0
+        return self.comm_instructions / self.app_instructions
+
+    def component_sum(self) -> float:
+        return sum(self.components.values())
+
+    def normalized_components(self, baseline_cycles: float) -> Dict[str, float]:
+        """Components rescaled so their sum equals cycles/baseline_cycles.
+
+        The attribution is approximate (overlap makes exact attribution
+        ill-posed even in real simulators); normalizing preserves each
+        component's share while making bars comparable across design points,
+        exactly how the paper plots them.
+        """
+        if baseline_cycles <= 0:
+            raise ValueError("baseline cycles must be positive")
+        total = self.component_sum()
+        height = self.cycles / baseline_cycles
+        if total <= 0:
+            return {name: 0.0 for name in COMPONENTS}
+        return {name: height * value / total for name, value in self.components.items()}
+
+
+@dataclass
+class RunStats:
+    """Statistics for a complete multi-threaded run."""
+
+    threads: List[ThreadStats] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        """Wall-clock cycles of the run: the slowest thread defines it."""
+        return max((t.cycles for t in self.threads), default=0)
+
+    def thread(self, thread_id: int) -> ThreadStats:
+        for t in self.threads:
+            if t.thread_id == thread_id:
+                return t
+        raise KeyError(f"no thread {thread_id}")
+
+    @property
+    def producer(self) -> ThreadStats:
+        """Thread 0 by convention (DSWP stage 1)."""
+        return self.thread(0)
+
+    @property
+    def consumer(self) -> ThreadStats:
+        """Thread 1 by convention (DSWP stage 2)."""
+        return self.thread(1)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, as used for the paper's summary bars."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import baseline_config
+from repro.sim.machine import Machine
+from repro.sim.program import Program, ThreadProgram
+from repro.sim import isa
+
+
+@pytest.fixture
+def config():
+    """A fresh Table 2 baseline configuration."""
+    return baseline_config()
+
+
+def simple_stream_program(
+    n_items: int = 64,
+    queue: int = 0,
+    producer_work: int = 2,
+    consumer_work: int = 3,
+) -> Program:
+    """A minimal one-queue producer/consumer program for mechanism tests."""
+
+    def producer():
+        for i in range(n_items):
+            yield isa.load(dest=1, addr=0x10000 + (i % 512) * 8)
+            for _ in range(producer_work):
+                yield isa.ialu(2, 1)
+            yield isa.produce(queue, 2)
+            yield isa.branch(2)
+
+    def consumer():
+        for i in range(n_items):
+            yield isa.consume(dest=3, queue=queue)
+            for _ in range(consumer_work):
+                yield isa.ialu(4, 3)
+            yield isa.store(0x80000 + (i % 512) * 8, 4)
+            yield isa.branch(4)
+
+    return Program(
+        "simple-stream",
+        [ThreadProgram("producer", producer), ThreadProgram("consumer", consumer)],
+        {queue: (0, 1)},
+    )
+
+
+@pytest.fixture
+def stream_program():
+    return simple_stream_program()
+
+
+def run_mechanism(mechanism: str, program: Program, config=None):
+    """Build a fresh machine, run, return (stats, machine)."""
+    machine = Machine(config or baseline_config(), mechanism=mechanism)
+    stats = machine.run(program)
+    return stats, machine

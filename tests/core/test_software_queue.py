@@ -1,0 +1,121 @@
+"""Tests specific to EXISTING (software queues) and MEMOPTI (write-forwarding)."""
+
+import pytest
+
+from repro.sim import isa
+from repro.sim.config import baseline_config
+from repro.sim.machine import Machine
+from repro.sim.program import Program, ThreadProgram
+
+from tests.conftest import run_mechanism, simple_stream_program
+
+
+class TestExisting:
+    def test_layout_has_colocated_flags(self):
+        machine = Machine(baseline_config(), mechanism="existing")
+        lay = machine.mechanism.layout_for(0)
+        assert lay.flag_bytes == 8
+        assert lay.qlu == 8  # 16-byte slots, 8 per 128 B line (Figure 5)
+
+    def test_ten_instruction_sequences(self):
+        stats, _ = run_mechanism("existing", simple_stream_program(32))
+        # 6 sync + 1 data + 3 pointer per op, spins excluded on the
+        # producer when the queue never fills.
+        per_op = stats.producer.comm_instructions / 32
+        assert 9 <= per_op <= 14
+
+    def test_fences_expose_store_ordering(self):
+        """Every comm op carries a fence: issue clock must reflect it."""
+        stats, _ = run_mechanism("existing", simple_stream_program(32))
+        assert stats.producer.components["L2"] > 0
+
+    def test_coherence_ping_pong_traffic(self):
+        stats, machine = run_mechanism("existing", simple_stream_program(64))
+        # Flag/data line moves between cores repeatedly.
+        assert machine.mem.cache_to_cache_transfers > 32
+
+    def test_consumer_spins_when_starved(self):
+        def producer():
+            for i in range(32):
+                for _ in range(30):  # slow producer
+                    yield isa.falu(1, 1)
+                yield isa.produce(0, 1)
+
+        def consumer():
+            for i in range(32):
+                yield isa.consume(3, 0)
+
+        prog = Program(
+            "starved",
+            [ThreadProgram("p", producer), ThreadProgram("c", consumer)],
+            {0: (0, 1)},
+        )
+        stats, machine = run_mechanism("existing", prog)
+        assert stats.consumer.spin_reissues > 0
+        assert stats.consumer.queue_empty_stall > 0
+
+    def test_producer_spins_on_full_queue(self):
+        def producer():
+            yield isa.ialu(1)
+            for i in range(80):  # > depth 32
+                yield isa.produce(0, 1)
+
+        def consumer():
+            for i in range(80):
+                yield isa.consume(3, 0)
+                for _ in range(20):  # slow consumer
+                    yield isa.falu(4, 4)
+
+        prog = Program(
+            "full",
+            [ThreadProgram("p", producer), ThreadProgram("c", consumer)],
+            {0: (0, 1)},
+        )
+        stats, machine = run_mechanism("existing", prog)
+        assert stats.producer.queue_full_stall > 0
+        assert stats.producer.spin_reissues > 0
+
+    def test_spin_recirculation_occupies_ports(self):
+        def producer():
+            yield isa.ialu(1)
+            for i in range(64):
+                yield isa.produce(0, 1)
+
+        def consumer():
+            for i in range(64):
+                yield isa.consume(3, 0)
+                for _ in range(20):
+                    yield isa.falu(4, 4)
+
+        prog = Program(
+            "recirc",
+            [ThreadProgram("p", producer), ThreadProgram("c", consumer)],
+            {0: (0, 1)},
+        )
+        stats, machine = run_mechanism("existing", prog)
+        assert machine.mem.ozq[0].recirculations > 0
+
+
+class TestMemOpti:
+    def test_lines_forwarded_once_full(self):
+        stats, machine = run_mechanism("memopti", simple_stream_program(64))
+        # 64 items / QLU 8 = 8 full lines forwarded.
+        assert stats.producer.lines_forwarded == 8
+
+    def test_forward_keeps_producer_shared_copy(self):
+        stats, machine = run_mechanism("memopti", simple_stream_program(16))
+        # After forwarding line 0 the producer keeps an S copy (until the
+        # consumer's flag-clear upgrades it away) — MEMOPTI semantics.
+        assert machine.mem.forwards >= 1
+
+    def test_memopti_not_faster_than_existing_under_pressure(self):
+        """Section 4.4's anomaly: recirculating write-forwards cost ports."""
+        prog_a = simple_stream_program(128, producer_work=1, consumer_work=1)
+        prog_b = simple_stream_program(128, producer_work=1, consumer_work=1)
+        ex, _ = run_mechanism("existing", prog_a)
+        mo, _ = run_mechanism("memopti", prog_b)
+        assert mo.cycles >= ex.cycles * 0.9
+
+    def test_no_forward_for_partial_line(self):
+        stats, machine = run_mechanism("memopti", simple_stream_program(4))
+        assert stats.producer.lines_forwarded == 0

@@ -1,0 +1,172 @@
+"""Unit + property tests for the graph algorithms (Tarjan SCC, condensation)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dswp.graph import (
+    DiGraph,
+    condense,
+    is_acyclic,
+    tarjan_scc,
+    topological_order,
+)
+
+
+def graph_from_edges(edges, nodes=()):
+    g = DiGraph()
+    for n in nodes:
+        g.add_node(n)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestDiGraph:
+    def test_add_edge_creates_nodes(self):
+        g = graph_from_edges([(1, 2)])
+        assert set(g.nodes) == {1, 2}
+
+    def test_successors_predecessors(self):
+        g = graph_from_edges([(1, 2), (1, 3), (3, 2)])
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(2) == {1, 3}
+
+    def test_duplicate_edges_collapse(self):
+        g = graph_from_edges([(1, 2), (1, 2)])
+        assert g.n_edges() == 1
+
+    def test_has_edge(self):
+        g = graph_from_edges([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+
+class TestTarjan:
+    def test_dag_gives_singletons(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        sccs = tarjan_scc(g)
+        assert sorted(len(s) for s in sccs) == [1, 1, 1]
+
+    def test_simple_cycle(self):
+        g = graph_from_edges([(1, 2), (2, 3), (3, 1)])
+        sccs = tarjan_scc(g)
+        assert len(sccs) == 1
+        assert set(sccs[0]) == {1, 2, 3}
+
+    def test_two_cycles_bridge(self):
+        g = graph_from_edges([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        sccs = tarjan_scc(g)
+        comps = sorted(tuple(sorted(s)) for s in sccs)
+        assert comps == [(1, 2), (3, 4)]
+
+    def test_self_loop(self):
+        g = graph_from_edges([(1, 1), (1, 2)])
+        sccs = {tuple(sorted(s)) for s in tarjan_scc(g)}
+        assert (1,) in sccs and (2,) in sccs
+
+    def test_reverse_topological_output(self):
+        """Every inter-SCC edge goes from later to earlier in Tarjan output."""
+        g = graph_from_edges([(1, 2), (2, 3), (1, 3)])
+        sccs = tarjan_scc(g)
+        position = {}
+        for i, comp in enumerate(sccs):
+            for n in comp:
+                position[n] = i
+        for a, b in g.edges():
+            if position[a] != position[b]:
+                assert position[a] > position[b]
+
+    def test_isolated_nodes(self):
+        g = graph_from_edges([], nodes=[1, 2, 3])
+        assert len(tarjan_scc(g)) == 3
+
+    def test_deep_chain_no_recursion_limit(self):
+        edges = [(i, i + 1) for i in range(5000)]
+        g = graph_from_edges(edges)
+        assert len(tarjan_scc(g)) == 5001
+
+    @staticmethod
+    def brute_force_sccs(nodes, edges):
+        """Reachability-based SCCs for cross-checking."""
+        reach = {n: {n} for n in nodes}
+        changed = True
+        adj = {}
+        for a, b in edges:
+            adj.setdefault(a, set()).add(b)
+        while changed:
+            changed = False
+            for n in nodes:
+                for m in list(reach[n]):
+                    extra = adj.get(m, set()) - reach[n]
+                    if extra:
+                        reach[n] |= extra
+                        changed = True
+        comps = set()
+        for n in nodes:
+            comp = frozenset(m for m in nodes if m in reach[n] and n in reach[m])
+            comps.add(comp)
+        return comps
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=25
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_brute_force(self, edges):
+        nodes = sorted({n for e in edges for n in e})
+        g = graph_from_edges(edges)
+        expected = self.brute_force_sccs(nodes, edges)
+        got = {frozenset(c) for c in tarjan_scc(g)}
+        assert got == expected
+
+
+class TestCondense:
+    def test_condensation_is_dag(self):
+        g = graph_from_edges([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (1, 4)])
+        dag, node_to_scc, sccs = condense(g)
+        assert is_acyclic(dag)
+
+    def test_mapping_consistency(self):
+        g = graph_from_edges([(1, 2), (2, 1), (2, 3)])
+        dag, node_to_scc, sccs = condense(g)
+        for scc_id, members in enumerate(sccs):
+            for n in members:
+                assert node_to_scc[n] == scc_id
+
+    def test_no_self_edges_in_dag(self):
+        g = graph_from_edges([(1, 2), (2, 1)])
+        dag, _, _ = condense(g)
+        for a, b in dag.edges():
+            assert a != b
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40
+        )
+    )
+    @settings(max_examples=60)
+    def test_condensation_always_acyclic(self, edges):
+        g = graph_from_edges(edges)
+        dag, _, _ = condense(g)
+        assert is_acyclic(dag)
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = graph_from_edges([(1, 2), (1, 3), (3, 4), (2, 4)])
+        order = topological_order(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for a, b in g.edges():
+            assert pos[a] < pos[b]
+
+    def test_cycle_rejected(self):
+        g = graph_from_edges([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_is_acyclic(self):
+        assert is_acyclic(graph_from_edges([(1, 2)]))
+        assert not is_acyclic(graph_from_edges([(1, 2), (2, 1)]))

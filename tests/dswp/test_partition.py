@@ -1,0 +1,189 @@
+"""Unit + property tests for the DSWP partitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dswp.ir import Loop, Op, OpKind
+from repro.dswp.partition import (
+    PartitionError,
+    build_dependence_graph,
+    partition_loop,
+)
+
+
+def chain_loop(n=6):
+    """a0 -> a1 -> ... -> a(n-1), no recurrences."""
+    body = [Op("a0", OpKind.IALU)]
+    for i in range(1, n):
+        body.append(Op(f"a{i}", OpKind.IALU, deps=(f"a{i-1}",)))
+    return Loop("chain", body)
+
+
+def producer_consumer_loop():
+    """A load feeding a loop-carried reduction: the canonical DSWP shape."""
+    return Loop(
+        "pc",
+        [
+            Op("ld", OpKind.IALU),  # stands in for a streaming load
+            Op("scale", OpKind.IALU, deps=("ld",)),
+            Op("acc", OpKind.FALU, deps=("scale",), carried_deps=("acc",)),
+            Op("out", OpKind.IALU, deps=("acc",)),
+        ],
+    )
+
+
+class TestDependenceGraph:
+    def test_intra_edges(self):
+        g = build_dependence_graph(chain_loop(3))
+        assert g.has_edge("a0", "a1")
+        assert g.has_edge("a1", "a2")
+
+    def test_carried_edge_closes_cycle(self):
+        loop = Loop(
+            "rec",
+            [
+                Op("x", OpKind.IALU, carried_deps=("y",)),
+                Op("y", OpKind.IALU, deps=("x",)),
+            ],
+        )
+        g = build_dependence_graph(loop)
+        assert g.has_edge("x", "y") and g.has_edge("y", "x")
+
+
+class TestPartitioning:
+    def test_chain_splits_roughly_in_half(self):
+        p = partition_loop(chain_loop(6))
+        w0, w1 = p.stage_weight(0), p.stage_weight(1)
+        assert abs(w0 - w1) <= 2.0
+        assert len(p.crossing_values) == 1  # a chain crosses once
+
+    def test_producer_consumer_shape(self):
+        p = partition_loop(producer_consumer_loop())
+        # The reduction recurrence must be in stage 1 as a unit.
+        assert p.stage_of["acc"] == 1
+        assert p.stage_of["out"] == 1
+        assert p.stage_of["ld"] == 0
+
+    def test_fully_recurrent_loop_rejected(self):
+        loop = Loop(
+            "knot",
+            [
+                Op("x", OpKind.IALU, carried_deps=("y",)),
+                Op("y", OpKind.IALU, deps=("x",)),
+            ],
+        )
+        with pytest.raises(PartitionError):
+            partition_loop(loop)
+
+    def test_validate_catches_backward_dep(self):
+        from repro.dswp.partition import Partition
+
+        loop = chain_loop(3)
+        bad = Partition(
+            loop=loop,
+            stage_of={"a0": 1, "a1": 0, "a2": 1},
+            crossing_values=(),
+        )
+        with pytest.raises(PartitionError):
+            bad.validate()
+
+    def test_crossing_values_deduplicated(self):
+        """A value used by many stage-1 ops crosses exactly once."""
+        loop = Loop(
+            "fan",
+            [
+                Op("src", OpKind.IALU),
+                Op("u1", OpKind.FALU, deps=("src",), carried_deps=("u1",)),
+                Op("u2", OpKind.FALU, deps=("src",), carried_deps=("u2",)),
+                Op("u3", OpKind.FALU, deps=("src",), carried_deps=("u3",)),
+            ],
+        )
+        p = partition_loop(loop)
+        assert p.crossing_values.count("src") == 1
+
+    def test_comm_cost_discourages_wide_cuts(self):
+        """A high comm weight pushes the cut to a narrow point."""
+        loop = Loop(
+            "wide",
+            [
+                Op("a", OpKind.IALU),
+                Op("b1", OpKind.IALU, deps=("a",)),
+                Op("b2", OpKind.IALU, deps=("a",)),
+                Op("join", OpKind.IALU, deps=("b1", "b2")),
+                Op("t1", OpKind.FALU, deps=("join",), carried_deps=("t1",)),
+                Op("t2", OpKind.FALU, deps=("t1",), carried_deps=("t2",)),
+            ],
+        )
+        narrow = partition_loop(loop, comm_cost_weight=10.0)
+        assert len(narrow.crossing_values) == 1
+
+    def test_comm_ops_per_iteration_counts_repeat(self):
+        loop = Loop(
+            "rep",
+            [
+                Op("src", OpKind.IALU, repeat=2),
+                Op("use", OpKind.FALU, deps=("src",), carried_deps=("use",)),
+            ],
+        )
+        p = partition_loop(loop)
+        assert p.comm_ops_per_iteration() == 2
+
+
+@st.composite
+def random_loops(draw):
+    """Random well-formed loops: ops with only-backward intra deps."""
+    n = draw(st.integers(2, 8))
+    body = []
+    for i in range(n):
+        kind = draw(st.sampled_from([OpKind.IALU, OpKind.FALU]))
+        deps = ()
+        if i > 0:
+            deps = tuple(
+                sorted(
+                    draw(
+                        st.sets(
+                            st.integers(0, i - 1), max_size=min(2, i)
+                        )
+                    )
+                )
+            )
+        carried = ()
+        if draw(st.booleans()):
+            carried = (i,)  # self-recurrence
+        body.append(
+            Op(
+                f"op{i}",
+                kind,
+                deps=tuple(f"op{d}" for d in deps),
+                carried_deps=tuple(f"op{c}" for c in carried),
+            )
+        )
+    return Loop("rand", body)
+
+
+class TestPartitionProperties:
+    @given(loop=random_loops())
+    @settings(max_examples=60, deadline=None)
+    def test_partitions_always_valid(self, loop):
+        """Every produced partition satisfies the DSWP acyclicity invariant."""
+        try:
+            p = partition_loop(loop)
+        except PartitionError:
+            return  # single-SCC loops are legitimately rejected
+        p.validate()
+        # Both stages non-empty.
+        assert p.ops_in_stage(0) and p.ops_in_stage(1)
+        # Crossing values all defined in stage 0.
+        for v in p.crossing_values:
+            assert p.stage_of[v] == 0
+
+    @given(loop=random_loops())
+    @settings(max_examples=40, deadline=None)
+    def test_weights_partition_total(self, loop):
+        try:
+            p = partition_loop(loop)
+        except PartitionError:
+            return
+        assert p.stage_weight(0) + p.stage_weight(1) == pytest.approx(
+            loop.total_weight()
+        )

@@ -1,0 +1,108 @@
+"""Tests for the runner, reporting helpers, and experiment plumbing."""
+
+import pytest
+
+from repro.harness.reporting import (
+    BAR_COMPONENTS,
+    format_breakdown_table,
+    format_table,
+    normalized_series,
+    with_geomean,
+)
+from repro.harness.runner import run_benchmark, run_single_threaded
+from repro.harness import experiments as E
+
+
+class TestRunner:
+    def test_run_benchmark_returns_result(self):
+        r = run_benchmark("wc", "HEAVYWT", trip_count=48)
+        assert r.benchmark == "wc"
+        assert r.design_point == "HEAVYWT"
+        assert r.cycles > 0
+        assert r.producer.produces > 0
+
+    def test_run_single_threaded(self):
+        r = run_single_threaded("wc", trip_count=48)
+        assert r.design_point == "SINGLE"
+        assert r.stats.threads[0].consumes == 0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmark("doom", "HEAVYWT", 10)
+
+    def test_unknown_design_point_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmark("wc", "NOPE", 10)
+
+    def test_thread_components_normalized(self):
+        r = run_benchmark("wc", "EXISTING", trip_count=48)
+        comps = r.thread_components("producer", baseline_cycles=r.cycles)
+        assert sum(comps.values()) == pytest.approx(1.0, rel=0.01)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(("a", "bee"), [(1, 2), (333, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_normalized_series(self):
+        s = normalized_series({"x": 10.0, "y": 20.0}, "x")
+        assert s == {"x": 1.0, "y": 2.0}
+
+    def test_normalized_series_bad_baseline(self):
+        with pytest.raises(ValueError):
+            normalized_series({"x": 0.0}, "x")
+
+    def test_with_geomean(self):
+        s = with_geomean({"a": 2.0, "b": 8.0})
+        assert s["GeoMean"] == pytest.approx(4.0)
+
+    def test_breakdown_table_contains_components(self):
+        bars = {"wc/HEAVYWT": {c: 0.1 for c in BAR_COMPONENTS}}
+        out = format_breakdown_table("t", bars)
+        for c in BAR_COMPONENTS:
+            assert c in out
+        assert "wc/HEAVYWT" in out
+
+
+class TestExperimentPlumbing:
+    def test_table1(self):
+        r = E.table1()
+        assert r.exhibit == "table1"
+        assert any("cnt" in str(row) for row in r.data["rows"])
+        assert "wc" in r.text
+
+    def test_table2(self):
+        r = E.table2()
+        assert "141 cycles" in r.text
+        assert r.data["parameters"]["Maximum Outstanding Loads"] == "16"
+
+    def test_all_experiments_registered(self):
+        assert set(E.ALL_EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+        }
+
+    def test_figure8_small_scale(self):
+        r = E.figure8(scale=0.1)
+        assert set(r.data["ratios"]) == set(E.EXPERIMENT_TRIPS)
+        for ratios in r.data["ratios"].values():
+            assert ratios["producer"] > 0
+            assert ratios["consumer"] > 0
+
+    def test_figure9_small_scale(self):
+        r = E.figure9(scale=0.1)
+        assert r.data["geomean"] > 0.8
+
+    def test_experiment_result_str(self):
+        r = E.table1()
+        assert str(r) == r.text

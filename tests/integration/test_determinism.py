@@ -1,0 +1,45 @@
+"""Determinism and robustness of the full stack."""
+
+import pytest
+
+from repro.harness.runner import run_benchmark
+from repro.sim.config import baseline_config
+from repro.sim.machine import Machine
+from repro.workloads.suite import BENCHMARK_ORDER, build_pipelined
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mechanism", ["existing", "syncopti", "heavywt"])
+    def test_identical_runs_identical_cycles(self, mechanism):
+        a = Machine(baseline_config(), mechanism=mechanism).run(
+            build_pipelined("adpcmdec", 96)
+        )
+        b = Machine(baseline_config(), mechanism=mechanism).run(
+            build_pipelined("adpcmdec", 96)
+        )
+        assert a.cycles == b.cycles
+        assert a.producer.comm_instructions == b.producer.comm_instructions
+
+    def test_components_deterministic(self):
+        a = run_benchmark("wc", "SYNCOPTI_SC", 96)
+        b = run_benchmark("wc", "SYNCOPTI_SC", 96)
+        assert a.producer.components == b.producer.components
+
+    def test_all_benchmarks_deterministic_under_heavywt(self):
+        for name in BENCHMARK_ORDER:
+            x = run_benchmark(name, "HEAVYWT", 40).cycles
+            y = run_benchmark(name, "HEAVYWT", 40).cycles
+            assert x == y, name
+
+
+class TestScaling:
+    def test_cycles_scale_with_trip_count(self):
+        short = run_benchmark("fir", "HEAVYWT", 64).cycles
+        long = run_benchmark("fir", "HEAVYWT", 256).cycles
+        assert 2.5 <= long / short <= 6.0
+
+    def test_steady_state_rate_stable(self):
+        """Per-iteration cost converges as trips grow (no runaway state)."""
+        mid = run_benchmark("adpcmdec", "SYNCOPTI", 200).cycles / 200
+        long = run_benchmark("adpcmdec", "SYNCOPTI", 400).cycles / 400
+        assert abs(long - mid) / mid < 0.25

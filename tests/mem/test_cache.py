@@ -1,0 +1,130 @@
+"""Unit + property tests for the set-associative cache arrays."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import CacheArray, LineState
+from repro.sim.config import CacheConfig
+
+
+def small_cache(n_sets=4, assoc=2, line=64):
+    return CacheArray(
+        CacheConfig(size_bytes=n_sets * assoc * line, assoc=assoc, line_bytes=line, latency=1)
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(5) is None
+        c.install(5, LineState.EXCLUSIVE)
+        assert c.lookup(5) is not None
+        assert c.hits == 1 and c.misses == 1
+
+    def test_line_addr(self):
+        c = small_cache(line=64)
+        assert c.line_addr(0) == 0
+        assert c.line_addr(63) == 0
+        assert c.line_addr(64) == 1
+
+    def test_install_refreshes_existing(self):
+        c = small_cache()
+        c.install(5, LineState.SHARED)
+        victim = c.install(5, LineState.MODIFIED)
+        assert victim is None
+        assert c.probe(5).state is LineState.MODIFIED
+
+    def test_invalid_install_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().install(1, LineState.INVALID)
+
+    def test_invalidate_returns_line(self):
+        c = small_cache()
+        c.install(5, LineState.MODIFIED)
+        line = c.invalidate(5)
+        assert line is not None and line.dirty
+        assert c.probe(5) is None
+
+    def test_invalidate_absent_is_none(self):
+        assert small_cache().invalidate(9) is None
+
+    def test_downgrade(self):
+        c = small_cache()
+        c.install(5, LineState.MODIFIED)
+        c.downgrade(5)
+        assert c.probe(5).state is LineState.SHARED
+
+    def test_set_state_missing_raises(self):
+        with pytest.raises(KeyError):
+            small_cache().set_state(1, LineState.SHARED)
+
+    def test_ready_at_monotone_on_refresh(self):
+        c = small_cache()
+        c.install(5, LineState.SHARED, ready_at=10.0)
+        c.install(5, LineState.SHARED, ready_at=3.0)
+        assert c.probe(5).ready_at == 10.0
+
+    def test_streaming_flag_sticky(self):
+        c = small_cache()
+        c.install(5, LineState.SHARED, streaming=True)
+        c.install(5, LineState.SHARED, streaming=False)
+        assert c.probe(5).streaming
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        c = small_cache(n_sets=1, assoc=2)
+        c.install(0, LineState.SHARED)
+        c.install(1, LineState.SHARED)
+        c.lookup(0)  # touch 0: 1 becomes LRU
+        victim = c.install(2, LineState.SHARED)
+        assert victim.line_addr == 1
+
+    def test_dirty_victim_counts_writeback(self):
+        c = small_cache(n_sets=1, assoc=1)
+        c.install(0, LineState.MODIFIED)
+        victim = c.install(1, LineState.SHARED)
+        assert victim.dirty
+        assert c.writebacks == 1
+
+    def test_set_isolation(self):
+        c = small_cache(n_sets=4, assoc=1)
+        # Lines 0..3 map to distinct sets: no evictions.
+        for line in range(4):
+            assert c.install(line, LineState.SHARED) is None
+        assert c.occupancy() == 4
+
+    def test_probe_does_not_touch_lru(self):
+        c = small_cache(n_sets=1, assoc=2)
+        c.install(0, LineState.SHARED)
+        c.install(1, LineState.SHARED)
+        c.probe(0)  # must NOT move 0 to MRU
+        victim = c.install(2, LineState.SHARED)
+        assert victim.line_addr == 0
+
+    def test_capacity_lines(self):
+        assert small_cache(n_sets=4, assoc=2).capacity_lines == 8
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        c = small_cache(n_sets=4, assoc=2)
+        for line in lines:
+            c.lookup(line) or c.install(line, LineState.SHARED)
+            assert c.occupancy() <= c.capacity_lines
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+    def test_installed_line_immediately_present(self, lines):
+        c = small_cache(n_sets=4, assoc=2)
+        for line in lines:
+            c.install(line, LineState.EXCLUSIVE)
+            assert c.probe(line) is not None
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=50))
+    def test_hit_rate_bounds(self, lines):
+        c = small_cache(n_sets=2, assoc=4)  # all 8 lines fit
+        for line in lines:
+            if c.lookup(line) is None:
+                c.install(line, LineState.SHARED)
+        assert 0.0 <= c.hit_rate() <= 1.0
+        # With everything fitting, misses == distinct lines.
+        assert c.misses == len(set(lines))

@@ -1,0 +1,158 @@
+"""Unit + property tests for the MESI protocol tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import LineState
+from repro.mem.coherence import (
+    BusEvent,
+    LocalEvent,
+    local_transition,
+    snoop_transition,
+    writeback_required,
+)
+
+STATES = list(LineState)
+VALID = [s for s in STATES if s is not LineState.INVALID]
+
+
+class TestLocalTransitions:
+    def test_read_miss_fetches_exclusive(self):
+        assert local_transition(LineState.INVALID, LocalEvent.READ) == (
+            LineState.EXCLUSIVE,
+            BusEvent.BUS_RD,
+        )
+
+    def test_write_miss_rfo(self):
+        assert local_transition(LineState.INVALID, LocalEvent.WRITE) == (
+            LineState.MODIFIED,
+            BusEvent.BUS_RDX,
+        )
+
+    def test_shared_write_upgrades(self):
+        state, event = local_transition(LineState.SHARED, LocalEvent.WRITE)
+        assert state is LineState.MODIFIED
+        assert event is BusEvent.BUS_UPGR
+
+    def test_exclusive_write_silent(self):
+        state, event = local_transition(LineState.EXCLUSIVE, LocalEvent.WRITE)
+        assert state is LineState.MODIFIED
+        assert event is None
+
+    def test_hits_are_silent(self):
+        for s in (LineState.SHARED, LineState.EXCLUSIVE, LineState.MODIFIED):
+            _, event = local_transition(s, LocalEvent.READ)
+            assert event is None
+
+    def test_evict_goes_invalid(self):
+        for s in VALID:
+            state, _ = local_transition(s, LocalEvent.EVICT)
+            assert state is LineState.INVALID
+
+    def test_invalid_evict_undefined(self):
+        with pytest.raises(KeyError):
+            local_transition(LineState.INVALID, LocalEvent.EVICT)
+
+
+class TestSnoopTransitions:
+    def test_modified_supplies_data_on_busrd(self):
+        state, supplies = snoop_transition(LineState.MODIFIED, BusEvent.BUS_RD)
+        assert state is LineState.SHARED
+        assert supplies
+
+    def test_modified_invalidated_on_rdx(self):
+        state, supplies = snoop_transition(LineState.MODIFIED, BusEvent.BUS_RDX)
+        assert state is LineState.INVALID
+        assert supplies
+
+    def test_shared_dies_on_upgrade(self):
+        state, supplies = snoop_transition(LineState.SHARED, BusEvent.BUS_UPGR)
+        assert state is LineState.INVALID
+        assert not supplies
+
+    def test_invalid_ignores_everything(self):
+        for event in (BusEvent.BUS_RD, BusEvent.BUS_RDX, BusEvent.BUS_UPGR):
+            state, supplies = snoop_transition(LineState.INVALID, event)
+            assert state is LineState.INVALID
+            assert not supplies
+
+
+class TestProtocolInvariants:
+    def test_writeback_only_from_modified_evict(self):
+        for s in VALID:
+            expected = s is LineState.MODIFIED
+            assert writeback_required(s, LocalEvent.EVICT) == expected
+
+    def test_no_snoop_leaves_modified(self):
+        """After any snooped bus event, at most one M copy can exist."""
+        for s in STATES:
+            for event in (BusEvent.BUS_RD, BusEvent.BUS_RDX, BusEvent.BUS_UPGR):
+                try:
+                    next_state, _ = snoop_transition(s, event)
+                except KeyError:
+                    continue
+                if event in (BusEvent.BUS_RDX, BusEvent.BUS_UPGR):
+                    assert next_state is LineState.INVALID
+
+    def test_single_writer_invariant(self):
+        """A local WRITE that keeps/creates M always invalidates remotes."""
+        for s in STATES:
+            next_state, bus_event = local_transition(s, LocalEvent.WRITE)
+            assert next_state is LineState.MODIFIED
+            if s in (LineState.INVALID, LineState.SHARED):
+                # Other caches might hold the line: a bus event is required.
+                assert bus_event is not None
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    ("local", LocalEvent.READ),
+                    ("local", LocalEvent.WRITE),
+                    ("snoop", BusEvent.BUS_RD),
+                    ("snoop", BusEvent.BUS_RDX),
+                    ("snoop", BusEvent.BUS_UPGR),
+                ]
+            ),
+            max_size=30,
+        )
+    )
+    def test_transitions_closed_over_event_sequences(self, events):
+        """Any event sequence keeps the state machine inside MESI."""
+        state = LineState.INVALID
+        for kind, event in events:
+            if kind == "local":
+                state, _ = local_transition(state, event)
+            else:
+                state, _ = snoop_transition(state, event)
+            assert state in STATES
+
+    def test_two_cache_simulation_never_double_modified(self):
+        """Drive two caches with interleaved reads/writes to one line.
+
+        Models the bus's *shared wire*: a read miss installs SHARED when the
+        other cache holds a valid copy, EXCLUSIVE otherwise (the choice the
+        pure transition table delegates to the controller).
+        """
+        states = [LineState.INVALID, LineState.INVALID]
+        for step in range(64):
+            actor = step % 2
+            other = 1 - actor
+            event = LocalEvent.WRITE if step % 3 else LocalEvent.READ
+            next_state, bus_event = local_transition(states[actor], event)
+            if bus_event is not None:
+                states[other], _ = snoop_transition(states[other], bus_event)
+            if (
+                event is LocalEvent.READ
+                and next_state is LineState.EXCLUSIVE
+                and states[other] is not LineState.INVALID
+            ):
+                next_state = LineState.SHARED  # shared wire asserted
+            states[actor] = next_state
+            assert (
+                sum(1 for s in states if s is LineState.MODIFIED) <= 1
+            ), f"double-M after step {step}"
+            if states[actor] is LineState.MODIFIED:
+                assert states[other] is LineState.INVALID

@@ -1,0 +1,170 @@
+"""Unit tests for the full memory hierarchy (coherence + timing)."""
+
+import pytest
+
+from repro.mem.cache import LineState
+from repro.mem.hierarchy import MemorySystem
+from repro.sim.config import baseline_config
+
+
+@pytest.fixture
+def mem(config):
+    return MemorySystem(config)
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_memory(self, mem, config):
+        r = mem.load(0, 0x1000, 0.0)
+        assert r.level == "MEM"
+        assert r.complete > config.main_memory_latency
+
+    def test_l1_hit_after_fill(self, mem):
+        mem.load(0, 0x1000, 0.0)
+        r = mem.load(0, 0x1000, 1000.0)
+        assert r.level == "L1"
+        assert r.complete == 1001.0
+
+    def test_l2_hit_after_l1_invalidation(self, mem):
+        mem.load(0, 0x1000, 0.0)
+        mem._invalidate_l1(0, mem.l2_line(0x1000))
+        r = mem.load(0, 0x1000, 1000.0)
+        assert r.level == "L2"
+
+    def test_l3_hit_after_remote_fetch(self, mem):
+        mem.load(0, 0x1000, 0.0)  # installs in L3 too
+        # Evict from core 0's L2 (and the inclusive L1) so the next fetch
+        # comes from the shared L3.
+        mem.l2[0].invalidate(mem.l2_line(0x1000))
+        mem._invalidate_l1(0, mem.l2_line(0x1000))
+        r = mem.load(0, 0x1000, 1000.0)
+        assert r.level == "L3"
+        assert r.breakdown.l3 > 0
+
+    def test_cache_to_cache_on_remote_dirty(self, mem):
+        mem.store(0, 0x1000, 0.0)
+        r = mem.load(1, 0x1000, 1000.0)
+        assert r.level == "remote-L2"
+        assert mem.cache_to_cache_transfers == 1
+        # Supplier downgraded to SHARED.
+        assert mem.l2[0].probe(mem.l2_line(0x1000)).state is LineState.SHARED
+
+    def test_breakdown_totals_cover_components(self, mem):
+        r = mem.load(0, 0x2000, 0.0)
+        bd = r.breakdown
+        assert bd.total >= bd.l2 + bd.bus + bd.l3 + bd.mem - 3  # rounding
+
+    def test_streaming_load_skips_l1(self, mem):
+        r = mem.stream_load(0, 0x3000, 0.0)
+        assert r.level in ("MEM", "L3")
+        l1_line = mem.l1d[0].line_addr(0x3000)
+        assert mem.l1d[0].probe(l1_line) is None
+
+
+class TestStorePath:
+    def test_cold_store_rfo(self, mem):
+        r = mem.store(0, 0x1000, 0.0)
+        assert mem.l2[0].probe(mem.l2_line(0x1000)).state is LineState.MODIFIED
+
+    def test_store_hit_modified_is_fast(self, mem, config):
+        mem.store(0, 0x1000, 0.0)
+        r = mem.store(0, 0x1008, 1000.0)
+        assert r.level == "L2"
+        assert r.complete - 1000.0 <= config.l2.latency + 3
+
+    def test_shared_store_upgrades(self, mem):
+        mem.load(0, 0x1000, 0.0)
+        mem.load(1, 0x1000, 500.0)
+        upgrades_before = mem.upgrades
+        # core 0 holds SHARED (downgraded by core 1's read of its E line? no:
+        # E->S only when the owner supplies; cold load installed E at core 0,
+        # then core 1's read downgraded it).
+        r = mem.store(0, 0x1000, 1000.0)
+        assert mem.upgrades == upgrades_before + 1
+        assert mem.l2[1].probe(mem.l2_line(0x1000)) is None  # invalidated
+
+    def test_rfo_invalidates_remote_modified(self, mem):
+        mem.store(0, 0x1000, 0.0)
+        mem.store(1, 0x1000, 1000.0)
+        assert mem.l2[0].probe(mem.l2_line(0x1000)) is None
+        assert mem.l2[1].probe(mem.l2_line(0x1000)).state is LineState.MODIFIED
+
+    def test_store_ordering_before_visibility(self, mem):
+        r = mem.store(0, 0x9000, 0.0)
+        assert r.ordered <= r.complete
+
+    def test_ping_pong_counts(self, mem):
+        """Alternating writers: every store RFOs the other core's copy."""
+        for i in range(6):
+            mem.store(i % 2, 0x1000, float(i * 1000))
+        assert mem.cache_to_cache_transfers >= 5
+
+
+class TestWriteForwarding:
+    def test_forward_installs_at_destination(self, mem):
+        mem.store(0, 0x8000_0000, 0.0)
+        arrival = mem.forward_line(0, 1, 0x8000_0000, 500.0, release_src=False)
+        line = mem.l2_line(0x8000_0000)
+        dst = mem.l2[1].probe(line)
+        assert dst is not None
+        assert dst.ready_at == arrival
+        assert dst.streaming
+
+    def test_forward_never_fills_l1(self, mem):
+        mem.store(0, 0x8000_0000, 0.0)
+        mem.forward_line(0, 1, 0x8000_0000, 500.0)
+        l1_line = mem.l1d[1].line_addr(0x8000_0000)
+        assert mem.l1d[1].probe(l1_line) is None
+
+    def test_release_src_invalidates_producer(self, mem):
+        mem.store(0, 0x8000_0000, 0.0)
+        mem.forward_line(0, 1, 0x8000_0000, 500.0, release_src=True)
+        assert mem.l2[0].probe(mem.l2_line(0x8000_0000)) is None
+
+    def test_memopti_keeps_shared_copy(self, mem):
+        mem.store(0, 0x8000_0000, 0.0)
+        mem.forward_line(0, 1, 0x8000_0000, 500.0, release_src=False)
+        src = mem.l2[0].probe(mem.l2_line(0x8000_0000))
+        assert src is not None and src.state is LineState.SHARED
+
+    def test_consumer_load_waits_for_inflight_forward(self, mem, config):
+        mem.store(0, 0x8000_0000, 0.0)
+        arrival = mem.forward_line(0, 1, 0x8000_0000, 500.0, release_src=True)
+        r = mem.stream_load(1, 0x8000_0000, 400.0)
+        assert r.complete >= arrival
+
+    def test_forward_contention_recirculates(self, mem):
+        """Port-contended forwards churn the producer's L2 ports."""
+        # Saturate the bus so the forward has to wait.
+        for i in range(6):
+            mem.bus.transfer(500.0, 128)
+        before = mem.ozq[0].recirculations
+        mem.store(0, 0x8000_0000, 0.0)
+        mem.forward_line(0, 1, 0x8000_0000, 500.0, contend_ports=True)
+        assert mem.ozq[0].recirculations >= before
+
+    def test_observe_update_installs_shared(self, mem):
+        mem.store(0, 0x8000_0000, 0.0)
+        done = mem.observe_update(1, 0x8000_0000, 100.0)
+        line = mem.l2[1].probe(mem.l2_line(0x8000_0000))
+        assert line is not None and line.state is LineState.SHARED
+        assert line.ready_at == done
+
+
+class TestEvictionHooks:
+    def test_streaming_eviction_callback(self, config):
+        mem = MemorySystem(config)
+        events = []
+        mem.on_streaming_eviction = lambda core, line, at: events.append((core, line))
+        line_bytes = config.l2.line_bytes
+        base = 0x8000_0000
+        mem.store(0, base, 0.0, streaming=True)
+        # Force eviction by filling the set: same set index needs
+        # n_sets * line_bytes stride.
+        stride = config.l2.n_sets * line_bytes
+        for i in range(1, config.l2.assoc + 1):
+            mem.load(0, base + i * stride, float(i * 2000))
+        assert events, "streaming line eviction should fire the hook"
+
+    def test_control_ack_returns_done_time(self, mem):
+        done = mem.control_ack(0, 10.0)
+        assert done > 10.0

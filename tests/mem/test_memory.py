@@ -1,0 +1,40 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.mem.memory import MainMemory
+
+
+class TestMainMemory:
+    def test_fixed_latency(self):
+        dram = MainMemory(latency=141)
+        assert dram.access(0, 0.0) == 141.0
+
+    def test_bank_conflict_queues(self):
+        dram = MainMemory(latency=100, n_banks=2, bank_busy=20)
+        dram.access(0, 0.0)
+        # Same bank (line 2 % 2 == 0): waits out the bank busy time.
+        assert dram.access(2, 0.0) == 120.0
+
+    def test_different_banks_parallel(self):
+        dram = MainMemory(latency=100, n_banks=2, bank_busy=20)
+        dram.access(0, 0.0)
+        assert dram.access(1, 0.0) == 100.0
+
+    def test_queueing_delay_probe(self):
+        dram = MainMemory(latency=100, n_banks=2, bank_busy=20)
+        dram.access(0, 0.0)
+        assert dram.queueing_delay(0, 0.0) == pytest.approx(20.0)
+        assert dram.queueing_delay(1, 0.0) == 0.0
+
+    def test_access_counter(self):
+        dram = MainMemory(latency=10)
+        dram.access(0, 0.0)
+        dram.access(1, 0.0)
+        assert dram.accesses == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MainMemory(latency=0)
+        with pytest.raises(ValueError):
+            MainMemory(latency=10, n_banks=0)

@@ -1,0 +1,164 @@
+"""Unit tests for the min-timestamp co-simulation scheduler."""
+
+import pytest
+
+from repro.sim.cosim import DeadlockError, Scheduler, SimulationLimitError
+
+
+def test_single_generator_runs_to_completion():
+    log = []
+
+    def gen():
+        log.append("a")
+        yield ("time", 1.0)
+        log.append("b")
+
+    Scheduler([gen()]).run()
+    assert log == ["a", "b"]
+
+
+def test_min_timestamp_ordering():
+    """The scheduler must always advance the core with the smaller clock."""
+    order = []
+
+    def fast():
+        for t in (1.0, 2.0, 3.0):
+            order.append(("fast", t))
+            yield ("time", t)
+
+    def slow():
+        for t in (10.0, 20.0):
+            order.append(("slow", t))
+            yield ("time", t)
+
+    Scheduler([fast(), slow()]).run()
+    # slow's first step happens at time 0 (both start at 0), but after its
+    # clock hits 10 the fast core must be drained first.
+    assert order.index(("fast", 3.0)) < order.index(("slow", 20.0))
+
+
+def test_block_wakes_on_predicate():
+    items = []
+    log = []
+
+    def producer():
+        yield ("time", 5.0)
+        items.append(42)
+        yield ("time", 6.0)
+
+    def consumer():
+        status = yield ("block", lambda: len(items) > 0, None)
+        log.append(status)
+        yield ("time", 7.0)
+
+    Scheduler([producer(), consumer()]).run()
+    assert log == ["ok"]
+
+
+def test_block_already_satisfied_resumes_immediately():
+    log = []
+
+    def gen():
+        status = yield ("block", lambda: True, None)
+        log.append(status)
+
+    Scheduler([gen()]).run()
+    assert log == ["ok"]
+
+
+def test_timeout_fires_when_all_blocked():
+    log = []
+
+    def waiter():
+        status = yield ("block", lambda: False, 100.0)
+        log.append(status)
+
+    Scheduler([waiter()]).run()
+    assert log == ["timeout"]
+
+
+def test_timeout_fires_when_peer_past_deadline():
+    log = []
+    items = []
+
+    def slow_producer():
+        yield ("time", 1000.0)  # sails past the deadline without producing
+        items.append(1)
+
+    def consumer():
+        status = yield ("block", lambda: len(items) > 0, 50.0)
+        log.append(status)
+        yield ("time", 51.0)
+
+    Scheduler([slow_producer(), consumer()]).run()
+    assert log == ["timeout"]
+
+
+def test_deadlock_detected():
+    def a():
+        yield ("block", lambda: False, None)
+
+    def b():
+        yield ("block", lambda: False, None)
+
+    with pytest.raises(DeadlockError):
+        Scheduler([a(), b()]).run()
+
+
+def test_step_budget_enforced():
+    def runaway():
+        while True:
+            yield ("time", 0.0)
+
+    with pytest.raises(SimulationLimitError):
+        Scheduler([runaway()], max_steps=100).run()
+
+
+def test_malformed_message_rejected():
+    def bad():
+        yield "not-a-tuple"
+
+    with pytest.raises(TypeError):
+        Scheduler([bad()]).run()
+
+
+def test_unknown_message_rejected():
+    def bad():
+        yield ("bogus", 1)
+
+    with pytest.raises(ValueError):
+        Scheduler([bad()]).run()
+
+
+def test_earliest_deadline_fires_first():
+    log = []
+
+    def w(name, deadline):
+        status = yield ("block", lambda: len(log) >= 2, deadline)
+        log.append((name, status))
+
+    # Both blocked; deadline 10 must fire before deadline 20.
+    Scheduler([w("late", 20.0), w("early", 10.0)]).run()
+    assert log[0][0] == "early"
+
+
+def test_two_way_handshake():
+    """Producer blocks on consumer progress and vice versa."""
+    produced, consumed = [], []
+
+    def producer():
+        for i in range(5):
+            produced.append(i)
+            yield ("time", float(len(produced)))
+            status = yield ("block", lambda i=i: len(consumed) > i, None)
+            assert status == "ok"
+
+    def consumer():
+        for i in range(5):
+            status = yield ("block", lambda i=i: len(produced) > i, None)
+            assert status == "ok"
+            consumed.append(i)
+            yield ("time", float(len(consumed)))
+
+    Scheduler([producer(), consumer()]).run()
+    assert produced == consumed == [0, 1, 2, 3, 4]

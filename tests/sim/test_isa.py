@@ -1,0 +1,92 @@
+"""Unit tests for the mini-ISA."""
+
+import pytest
+
+from repro.sim import isa
+from repro.sim.isa import DynInst, InstrKind, QueueSpec
+
+
+class TestDynInst:
+    def test_load_is_memory(self):
+        assert isa.load(1, 0x100).is_memory()
+
+    def test_store_is_memory(self):
+        assert isa.store(0x100, 1).is_memory()
+
+    def test_produce_is_memory_and_comm(self):
+        inst = isa.produce(3, 1)
+        assert inst.is_memory()
+        assert inst.is_comm()
+
+    def test_consume_is_comm(self):
+        assert isa.consume(1, 3).is_comm()
+
+    def test_ialu_is_not_memory(self):
+        assert not isa.ialu(1, 2).is_memory()
+
+    def test_branch_is_not_comm(self):
+        assert not isa.branch(1).is_comm()
+
+    def test_exec_latency_defaults(self):
+        assert isa.ialu(1).exec_latency() == 1
+        assert isa.falu(1).exec_latency() == 4
+        assert isa.branch().exec_latency() == 1
+
+    def test_exec_latency_override(self):
+        inst = DynInst(InstrKind.IALU, dest=1, latency=9)
+        assert inst.exec_latency() == 9
+
+    def test_load_carries_address(self):
+        assert isa.load(1, 0xABC).addr == 0xABC
+
+    def test_produce_carries_queue(self):
+        assert isa.produce(7, 1).queue == 7
+
+    def test_consume_carries_queue_and_dest(self):
+        inst = isa.consume(5, 9)
+        assert inst.dest == 5
+        assert inst.queue == 9
+
+    def test_fence_kind(self):
+        assert isa.fence().kind is InstrKind.FENCE
+
+    def test_sources_tuple(self):
+        assert isa.ialu(1, 2, 3).srcs == (2, 3)
+
+    def test_tags_propagate(self):
+        assert isa.load(1, 0, tag="x").tag == "x"
+
+
+class TestQueueSpec:
+    def test_default_lines(self):
+        spec = QueueSpec(queue_id=0)
+        assert spec.lines == 4  # 32 entries / QLU 8
+
+    def test_slot_line_mapping(self):
+        spec = QueueSpec(queue_id=0, depth=32, qlu=8)
+        assert spec.slot_line(0) == 0
+        assert spec.slot_line(7) == 0
+        assert spec.slot_line(8) == 1
+        assert spec.slot_line(31) == 3
+
+    def test_line_slots(self):
+        spec = QueueSpec(queue_id=0, depth=32, qlu=8)
+        assert list(spec.line_slots(1)) == list(range(8, 16))
+
+    def test_depth_must_be_multiple_of_qlu(self):
+        with pytest.raises(ValueError):
+            QueueSpec(queue_id=0, depth=30, qlu=8)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            QueueSpec(queue_id=0, depth=0)
+
+    def test_slot_out_of_range(self):
+        spec = QueueSpec(queue_id=0)
+        with pytest.raises(ValueError):
+            spec.slot_line(32)
+
+    def test_line_out_of_range(self):
+        spec = QueueSpec(queue_id=0)
+        with pytest.raises(ValueError):
+            spec.line_slots(4)

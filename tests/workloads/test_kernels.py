@@ -1,0 +1,82 @@
+"""Kernel-level tests: calibration properties of the rebuilt Table 1 loops."""
+
+import itertools
+
+import pytest
+
+from repro.dswp.ir import OpKind
+from repro.workloads.kernels import _BASE, HAND_PARTITIONS, LOOP_BUILDERS
+from repro.core.queue_model import QUEUE_REGION_BASE
+
+
+class TestKernelStructure:
+    def test_all_ir_kernels_build(self):
+        for name, builder in LOOP_BUILDERS.items():
+            loop = builder(10)
+            assert loop.trip_count == 10
+            assert loop.body, name
+
+    def test_address_regions_disjoint_from_queues(self):
+        for name, base in _BASE.items():
+            assert base + (64 << 20) <= QUEUE_REGION_BASE, name
+
+    def test_address_regions_mutually_disjoint(self):
+        bases = sorted(_BASE.values())
+        for a, b in zip(bases, bases[1:]):
+            assert b - a >= (64 << 20)
+
+    def test_fp_benchmarks_have_falu(self):
+        for name in ("equake", "art", "fir", "fft2"):
+            loop = LOOP_BUILDERS[name](10)
+            assert any(op.kind is OpKind.FALU for op in loop.body), name
+
+    def test_integer_benchmarks_have_no_falu(self):
+        for name in ("wc", "adpcmdec", "epicdec", "mcf"):
+            loop = LOOP_BUILDERS[name](10)
+            assert not any(op.kind is OpKind.FALU for op in loop.body), name
+
+    def test_every_kernel_streams_memory(self):
+        for name, builder in LOOP_BUILDERS.items():
+            loop = builder(10)
+            assert any(op.kind is OpKind.LOAD for op in loop.body), name
+
+    def test_recurrences_present(self):
+        """Every loop has at least one loop-carried dependence (the thing
+        that forces DSWP rather than DOALL parallelization)."""
+        for name, builder in LOOP_BUILDERS.items():
+            loop = builder(10)
+            assert any(op.carried_deps for op in loop.body), name
+
+    def test_mcf_pointer_chase_is_self_recurrent(self):
+        loop = LOOP_BUILDERS["mcf"](10)
+        node = loop.op("node_ptr")
+        assert "node_ptr" in node.carried_deps
+        assert node.kind is OpKind.LOAD
+
+    def test_hand_partitions_cover_all_ops(self):
+        for name, stage_of in HAND_PARTITIONS.items():
+            loop = LOOP_BUILDERS[name](10)
+            assert set(stage_of) == {op.op_id for op in loop.body}, name
+            assert set(stage_of.values()) == {0, 1}, name
+
+
+class TestFootprints:
+    def test_memory_intensive_footprints_exceed_l3(self):
+        """mcf/equake must overflow the 1.5 MB L3 (Figure 10 sensitivity)."""
+        loop = LOOP_BUILDERS["equake"](10)
+        seq_footprints = [
+            op.addr.footprint
+            for op in loop.body
+            if op.addr is not None and hasattr(op.addr, "footprint")
+        ]
+        assert max(seq_footprints) > 1536 * 1024
+
+    def test_tight_loops_have_byte_streams(self):
+        for name in ("wc", "adpcmdec"):
+            loop = LOOP_BUILDERS[name](10)
+            strides = [
+                op.addr.stride
+                for op in loop.body
+                if op.addr is not None and hasattr(op.addr, "stride")
+            ]
+            assert 1 in strides, name

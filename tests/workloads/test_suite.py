@@ -1,0 +1,139 @@
+"""Tests for the benchmark suite: metadata, programs, calibration targets."""
+
+import pytest
+
+from repro.sim.config import baseline_config
+from repro.sim.isa import InstrKind
+from repro.sim.machine import Machine
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    benchmark_info,
+    build_loop,
+    build_partition,
+    build_pipelined,
+    build_single_threaded,
+)
+
+
+class TestMetadata:
+    def test_table1_membership(self):
+        """Table 1's seven loops plus the two StreamIt benchmarks."""
+        assert set(BENCHMARK_ORDER) == {
+            "wc",
+            "adpcmdec",
+            "equake",
+            "mcf",
+            "epicdec",
+            "art",
+            "bzip2",
+            "fir",
+            "fft2",
+        }
+
+    def test_table1_functions(self):
+        assert BENCHMARKS["wc"].function == "cnt"
+        assert BENCHMARKS["equake"].function == "smvp"
+        assert BENCHMARKS["mcf"].function == "refresh_potential"
+        assert BENCHMARKS["bzip2"].function == "getAndMoveToFrontDecode"
+
+    def test_table1_exec_fractions(self):
+        assert BENCHMARKS["wc"].pct_exec_time == "100%"
+        assert BENCHMARKS["adpcmdec"].pct_exec_time == "98%"
+        assert BENCHMARKS["equake"].pct_exec_time == "68%"
+        assert BENCHMARKS["mcf"].pct_exec_time == "30%"
+        assert BENCHMARKS["epicdec"].pct_exec_time == "21%"
+        assert BENCHMARKS["art"].pct_exec_time == "20%"
+        assert BENCHMARKS["bzip2"].pct_exec_time == "17%"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_info("doom")
+
+    def test_nested_has_no_ir_loop(self):
+        with pytest.raises(ValueError):
+            build_loop("bzip2")
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+class TestProgramConstruction:
+    def test_pipelined_builds_and_runs(self, name):
+        prog = build_pipelined(name, 48)
+        stats = Machine(baseline_config(), mechanism="heavywt").run(prog)
+        assert stats.cycles > 0
+        assert stats.consumer.consumes > 0
+
+    def test_single_threaded_builds_and_runs(self, name):
+        prog = build_single_threaded(name, 48)
+        stats = Machine(baseline_config(), mechanism="heavywt").run(prog)
+        assert stats.cycles > 0
+        assert stats.threads[0].consumes == 0
+
+    def test_comm_counts_match(self, name):
+        prog = build_pipelined(name, 48)
+        stats = Machine(baseline_config(), mechanism="heavywt").run(prog)
+        assert stats.producer.produces == stats.consumer.consumes
+
+    def test_runs_on_every_mechanism(self, name):
+        for mech in ("existing", "syncopti", "heavywt"):
+            prog = build_pipelined(name, 36)
+            stats = Machine(baseline_config(), mechanism=mech).run(prog)
+            assert stats.cycles > 0, (name, mech)
+
+
+class TestPartitions:
+    def test_wc_has_three_consumes(self):
+        """Section 4.4: wc executes three consume operations per iteration."""
+        p = build_partition("wc", 32)
+        assert p.comm_ops_per_iteration() == 3
+
+    def test_all_partitions_valid(self):
+        for name in BENCHMARK_ORDER:
+            if BENCHMARKS[name].partition_mode == "nested":
+                continue
+            p = build_partition(name, 32)
+            p.validate()
+            assert p.ops_in_stage(0) and p.ops_in_stage(1)
+
+    def test_comm_frequency_band(self):
+        """Figure 8: one comm per ~2-20 application instructions."""
+        for name in BENCHMARK_ORDER:
+            prog = build_pipelined(name, 64)
+            stats = Machine(baseline_config(), mechanism="heavywt").run(prog)
+            for t in (stats.producer, stats.consumer):
+                ratio = t.comm_to_app_ratio
+                assert 0.03 <= ratio <= 0.8, (name, t.thread_id, ratio)
+
+    def test_memory_intensive_benchmarks_touch_dram(self):
+        for name in ("mcf", "equake"):
+            prog = build_pipelined(name, 64)
+            machine = Machine(baseline_config(), mechanism="heavywt")
+            machine.run(prog)
+            assert machine.mem.dram.accesses > 20, name
+
+    def test_tight_benchmarks_mostly_cache_resident(self):
+        prog = build_pipelined("wc", 128)
+        machine = Machine(baseline_config(), mechanism="heavywt")
+        machine.run(prog)
+        # Byte-stream input: ~1 line fetch per 128 chars.
+        assert machine.mem.dram.accesses < 64
+
+
+class TestBzip2Nest:
+    def test_two_queues(self):
+        prog = build_pipelined("bzip2", 96)
+        assert set(prog.queue_endpoints) == {0, 1}
+
+    def test_outer_items_per_group(self):
+        from repro.workloads.nested import GROUP_SIZE
+
+        prog = build_pipelined("bzip2", GROUP_SIZE * 4)
+        machine = Machine(baseline_config(), mechanism="heavywt")
+        machine.run(prog)
+        assert machine.channels[0].n_produced == 4  # outer: one per group
+        assert machine.channels[1].n_produced == GROUP_SIZE * 4
+
+    def test_single_threaded_equivalent_work(self):
+        prog = build_single_threaded("bzip2", 96)
+        stats = Machine(baseline_config(), mechanism="heavywt").run(prog)
+        assert stats.threads[0].app_instructions > 0
