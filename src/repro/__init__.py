@@ -14,7 +14,11 @@ The package provides:
   dependence graphs, SCC partitioning, code generation);
 * :mod:`repro.workloads` — the Table 1 benchmark suite rebuilt as
   calibrated IR kernels;
-* :mod:`repro.harness` — one runnable experiment per table/figure.
+* :mod:`repro.harness` — one runnable experiment per table/figure, with
+  per-cell failure isolation for sweeps;
+* :mod:`repro.faults` — seeded, deterministic fault injection (forward
+  delay/drop, bus jitter, queue-slot stalls, ACK delays) for exercising
+  the mechanisms' tolerance paths and the scheduler's post-mortems.
 
 Quickstart::
 
@@ -36,9 +40,18 @@ from repro.core.design_points import (
     with_transit_delay,
 )
 from repro.core.mechanism import available_mechanisms, create_mechanism
-from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
-from repro.harness.runner import RunResult, run_benchmark, run_single_threaded
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, run_all, sweep
+from repro.harness.runner import (
+    FailedRun,
+    RunResult,
+    run_benchmark,
+    run_benchmark_resilient,
+    run_single_threaded,
+)
 from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.cosim import DeadlockError, SimulationError, SimulationLimitError
+from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine, run_program
 from repro.sim.program import Program, ThreadProgram
 from repro.sim.stats import RunStats, ThreadStats, geomean
@@ -57,13 +70,21 @@ __all__ = [
     "BENCHMARKS",
     "BENCHMARK_ORDER",
     "DESIGN_POINTS",
+    "DeadlockError",
     "DesignPoint",
     "ExperimentResult",
+    "FailedRun",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "Machine",
     "MachineConfig",
+    "PostMortem",
     "Program",
     "RunResult",
     "RunStats",
+    "SimulationError",
+    "SimulationLimitError",
     "ThreadProgram",
     "ThreadStats",
     "available_mechanisms",
@@ -76,8 +97,10 @@ __all__ = [
     "get_design_point",
     "run_all",
     "run_benchmark",
+    "run_benchmark_resilient",
     "run_program",
     "run_single_threaded",
+    "sweep",
     "with_bus_latency",
     "with_bus_width",
     "with_queue_depth",

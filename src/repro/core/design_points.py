@@ -17,6 +17,14 @@ from typing import Callable, Dict, Optional
 from repro.sim.config import MachineConfig, baseline_config
 
 
+class DesignPointConfigError(ValueError):
+    """A caller-supplied config contradicts the design point it runs under."""
+
+
+#: Mechanisms that read the stream-cache configuration.
+_STREAM_CACHE_MECHANISMS = frozenset({"syncopti_sc"})
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """A named point in the communication-support design space."""
@@ -32,6 +40,35 @@ class DesignPoint:
         if self.configure is not None:
             self.configure(config)
         return config.validate()
+
+    def validate_config(self, config: MachineConfig) -> MachineConfig:
+        """Check that a caller-supplied config can pair with this point.
+
+        Contract: configs handed to :func:`repro.harness.runner.run_benchmark`
+        must be derived from this point's :meth:`build_config` (sensitivity
+        overrides — bus latency/width, queue depth, transit delay, fault
+        plans — are fine).  What is *not* fine is a config whose
+        mechanism-identity knobs contradict the design point, e.g. a
+        stream-cache-enabled config run under plain SYNCOPTI: silently, the
+        mechanism would ignore the stream cache and the cell would be
+        labeled with the wrong design point.  Raises
+        :class:`DesignPointConfigError` on such a mismatch.
+        """
+        wants_sc = self.mechanism in _STREAM_CACHE_MECHANISMS
+        if wants_sc and not config.stream_cache.enabled:
+            raise DesignPointConfigError(
+                f"design point {self.name!r} ({self.mechanism}) needs "
+                "config.stream_cache.enabled=True; build the config with "
+                f"get_design_point({self.name!r}).build_config()"
+            )
+        if not wants_sc and config.stream_cache.enabled:
+            raise DesignPointConfigError(
+                f"config has stream_cache.enabled=True but design point "
+                f"{self.name!r} runs mechanism {self.mechanism!r}, which "
+                "ignores the stream cache — the cell would be mislabeled. "
+                "Use an SC design point or a config built for this one."
+            )
+        return config
 
 
 def _q64(config: MachineConfig) -> None:

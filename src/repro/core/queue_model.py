@@ -20,8 +20,12 @@ mechanism-independent halves of that contract:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 #: Base byte address of the queue backing region in the simulated address
 #: space, far above any workload data region.
@@ -30,6 +34,17 @@ QUEUE_REGION_BASE = 0x8000_0000
 #: Bytes reserved per queue in the backing region (large enough for the
 #: biggest configuration: 64 entries x 16-byte software-queue slots).
 QUEUE_REGION_STRIDE = 0x1_0000
+
+
+def queue_of_addr(addr: int) -> Optional[int]:
+    """Architectural queue id backing ``addr``, or ``None`` for regular data.
+
+    Used by the memory system's fault hooks to map a forwarded line back to
+    the queue it carries, so fault rules can target individual queues.
+    """
+    if addr < QUEUE_REGION_BASE:
+        return None
+    return (addr - QUEUE_REGION_BASE) // QUEUE_REGION_STRIDE
 
 
 @dataclass
@@ -143,6 +158,13 @@ class QueueChannel:
     line_forwarded: Dict[int, float] = field(default_factory=dict)
     n_produced: int = 0
     n_consumed: int = 0
+    #: Optional fault plan consulted when slot recycling is recorded; the
+    #: channel is the natural hook point for QUEUE_SLOT_STALL faults because
+    #: every mechanism funnels its frees through ``record_freed``.
+    fault_plan: Optional["FaultPlan"] = field(default=None, repr=False, compare=False)
+    #: Set when an infinite slot stall wedges the channel: no further frees
+    #: are ever observed by the producer (forced-deadlock fault scenarios).
+    wedged: bool = False
 
     @property
     def queue_id(self) -> int:
@@ -179,15 +201,29 @@ class QueueChannel:
         return index
 
     def record_freed(self, visible_at: float) -> int:
-        """Append one slot-free visibility time; returns its item index."""
+        """Append one slot-free visibility time; returns its item index.
+
+        An active fault plan may stall the slot (delaying the visibility
+        time) or — with an infinite stall — wedge the channel, after which
+        this method drops all frees on the floor and the producer eventually
+        deadlocks (diagnosed by the post-mortem's ``wedged`` flag).
+        """
         index = len(self.freed)
+        if self.wedged:
+            return index
+        if self.fault_plan is not None:
+            stall = self.fault_plan.queue_slot_stall(self.queue_id, index, visible_at)
+            if math.isinf(stall):
+                self.wedged = True
+                return index
+            visible_at += stall
         self.freed.append(visible_at)
         return index
 
     def record_freed_bulk(self, count: int, visible_at: float) -> None:
         """Bulk ACK: mark ``count`` further items' slots free at one time."""
         for _ in range(count):
-            self.freed.append(visible_at)
+            self.record_freed(visible_at)
 
     def record_forward(self, line: int, arrival: float) -> None:
         self.line_forwarded[line] = arrival

@@ -19,13 +19,12 @@ within 2% of HEAVYWT — the paper's headline result.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
+from typing import Dict, Tuple
 
 from repro.core.mechanism import register_mechanism
 from repro.core.queue_model import QueueChannel
 from repro.core.syncopti import SyncOptiMechanism
 from repro.sim.config import StreamCacheConfig
-from repro.sim.isa import DynInst
 from repro.sim.stats import LatencyBreakdown
 
 

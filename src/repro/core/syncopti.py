@@ -99,6 +99,10 @@ class SyncOptiMechanism(CommMechanism):
             release_src=True,
             contend_ports=False,
         )
+        if arrival is None:
+            # The forward was never delivered: items stay unpublished and
+            # the consumer's partial-line timeout elicits them on demand.
+            return
         ch.record_forward(line, arrival)
         core.stats.lines_forwarded += 1
         # All stored-but-unpublished items up to `item` become visible when

@@ -41,5 +41,9 @@ class WriteForwardingMechanism(SoftwareQueueMechanism):
             release_src=False,
             contend_ports=True,
         )
+        if arrival is None:
+            # Delivery failed: the consumer's normal coherence miss path
+            # still finds the line at the producer, just without the push.
+            return
         ch.record_forward(layout.line_of(item), arrival)
         core.stats.lines_forwarded += 1

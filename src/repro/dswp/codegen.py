@@ -28,7 +28,7 @@ same load hoisting) for the Figure 9 speedup baseline.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, Set
 
 from repro.dswp.ir import Loop, Op, OpKind
 from repro.dswp.partition import Partition

@@ -10,7 +10,7 @@ thread; the acyclic condensation is what gets pipelined across threads.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 Node = Hashable
 

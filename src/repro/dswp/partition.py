@@ -20,8 +20,8 @@ topological prefixes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.dswp.graph import DiGraph, condense, topological_order
 from repro.dswp.ir import Loop, Op

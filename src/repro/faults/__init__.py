@@ -1,0 +1,5 @@
+"""Deterministic fault injection for robustness studies (see plan.py)."""
+
+from repro.faults.plan import FaultInjection, FaultKind, FaultPlan, FaultRule
+
+__all__ = ["FaultInjection", "FaultKind", "FaultPlan", "FaultRule"]

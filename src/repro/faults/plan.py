@@ -1,0 +1,283 @@
+"""Seeded, deterministic fault injection for the simulated CMP.
+
+The paper's mechanisms exist precisely because streaming hardware must
+tolerate imperfect timing: SYNCOPTI's partial-line timeout absorbs forwards
+that never complete, write-forward delivery rides a contended snoop bus, and
+occupancy-counter ACKs are small messages that can be arbitrarily delayed.
+A :class:`FaultPlan` lets experiments *exercise* those tolerance paths — and
+the failure-diagnosis machinery around them — without touching mechanism
+code: the memory system, bus, and queue channels each consult the plan at a
+narrow hook point, and mechanisms stay fault-oblivious.
+
+Fault sites (one :class:`FaultKind` per hook):
+
+* ``FORWARD_DELAY`` / ``FORWARD_DROP`` — perturb or suppress the delivery of
+  a producer-initiated write-forward (:meth:`MemorySystem.forward_line`).  A
+  dropped forward leaves the line owned by the producer; SYNCOPTI consumers
+  recover via the partial-line-timeout demand fetch, MEMOPTI consumers via
+  their normal coherence miss.
+* ``BUS_JITTER`` — add bounded random latency to a shared-bus transaction's
+  arbitration request (:meth:`SharedBus.transfer`).
+* ``QUEUE_SLOT_STALL`` — delay the visibility of a queue slot's recycling to
+  the producer (:meth:`QueueChannel.record_freed`).  An *infinite* stall
+  wedges the channel: no further frees are ever observed, which is the
+  canonical way to force a diagnosable deadlock.
+* ``ACK_DELAY`` — delay occupancy-counter ACK / control messages
+  (:meth:`MemorySystem.control_ack`), SYNCOPTI's bulk-ACK path.
+
+Determinism: every injection decision is drawn from a ``random.Random``
+seeded by an integer mix of ``(plan seed, rule index, per-rule event
+number)``.  No global RNG state is consumed, so two plans built with the
+same seed and rules drive byte-identical simulations — the property the
+robustness tests assert on ``RunStats``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """Injection site selector; one value per hook point."""
+
+    FORWARD_DELAY = "forward-delay"
+    FORWARD_DROP = "forward-drop"
+    BUS_JITTER = "bus-jitter"
+    QUEUE_SLOT_STALL = "queue-slot-stall"
+    ACK_DELAY = "ack-delay"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source: where to inject, how hard, and how often.
+
+    Args:
+        kind: Which hook point this rule applies to.
+        magnitude: Delay in CPU cycles.  Fixed for delay/stall kinds; the
+            upper bound of a uniform draw for ``BUS_JITTER``.  ``math.inf``
+            is allowed only for ``QUEUE_SLOT_STALL`` and wedges the channel.
+        probability: Per-event injection probability in ``[0, 1]``.
+        queue_id: Restrict to one architectural queue (``None`` = any).
+        core_id: Restrict to one core / bus requester (``None`` = any).
+        after: Skip the first ``after`` matching events at this rule.
+        count: Inject at most ``count`` times (``None`` = unlimited).
+    """
+
+    kind: FaultKind
+    magnitude: float = 0.0
+    probability: float = 1.0
+    queue_id: Optional[int] = None
+    core_id: Optional[int] = None
+    after: int = 0
+    count: Optional[int] = None
+
+    def validate(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ValueError(f"rule kind must be a FaultKind, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+        if self.magnitude < 0:
+            raise ValueError("fault magnitude must be non-negative")
+        if math.isinf(self.magnitude) and self.kind is not FaultKind.QUEUE_SLOT_STALL:
+            raise ValueError("only QUEUE_SLOT_STALL rules may use an infinite magnitude")
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.count is not None and self.count <= 0:
+            raise ValueError("count must be positive (or None)")
+
+    def matches(self, queue_id: Optional[int], core_id: Optional[int]) -> bool:
+        if self.queue_id is not None and self.queue_id != queue_id:
+            return False
+        if self.core_id is not None and self.core_id != core_id:
+            return False
+        return True
+
+
+@dataclass
+class FaultInjection:
+    """Forensic record of one applied fault (consumed by post-mortems)."""
+
+    kind: str
+    at: float
+    delay: float
+    queue_id: Optional[int] = None
+    core_id: Optional[int] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        where = []
+        if self.queue_id is not None:
+            where.append(f"queue {self.queue_id}")
+        if self.core_id is not None:
+            where.append(f"core {self.core_id}")
+        loc = " ".join(where) or "global"
+        delay = "inf" if math.isinf(self.delay) else f"{self.delay:g}"
+        return f"t={self.at:.0f} {self.kind} @ {loc} (+{delay} cycles)"
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus its injection log.
+
+    The plan is attached to a :class:`~repro.sim.config.MachineConfig` via
+    its ``faults`` field; :class:`~repro.sim.machine.Machine` calls
+    :meth:`reset` at construction so a plan reused across grid cells starts
+    every run from event zero.
+    """
+
+    def __init__(self, seed: int = 0, rules: Tuple[FaultRule, ...] = ()) -> None:
+        self.seed = int(seed)
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._event_counts: List[int] = [0] * len(self.rules)
+        self.injections: List[FaultInjection] = []
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> "FaultPlan":
+        for rule in self.rules:
+            rule.validate()
+        return self
+
+    def reset(self) -> None:
+        """Rewind all per-rule event counters and clear the injection log."""
+        self._event_counts = [0] * len(self.rules)
+        self.injections = []
+
+    # ------------------------------------------------------------------
+    # Deterministic per-event randomness
+    # ------------------------------------------------------------------
+
+    def _rng(self, rule_index: int, event: int) -> random.Random:
+        # Integer mixing keeps the draw independent of Python hash
+        # randomization and of call order at other sites.
+        key = (
+            (self.seed & 0xFFFFFFFF) * 0x9E3779B1
+            ^ (rule_index + 1) * 0x85EBCA77
+            ^ (event + 1) * 0xC2B2AE3D
+        ) & 0xFFFFFFFFFFFFFFFF
+        return random.Random(key)
+
+    def _fires(self, rule_index: int, rule: FaultRule) -> Tuple[bool, random.Random]:
+        """Advance the rule's event counter; decide whether it injects."""
+        event = self._event_counts[rule_index]
+        self._event_counts[rule_index] = event + 1
+        if event < rule.after:
+            return False, self._rng(rule_index, event)
+        if rule.count is not None and event >= rule.after + rule.count:
+            return False, self._rng(rule_index, event)
+        rng = self._rng(rule_index, event)
+        if rule.probability < 1.0 and rng.random() >= rule.probability:
+            return False, rng
+        return True, rng
+
+    def _collect(
+        self,
+        kind: FaultKind,
+        at: float,
+        queue_id: Optional[int],
+        core_id: Optional[int],
+        uniform: bool,
+        **detail,
+    ) -> float:
+        """Sum the delays of every firing rule of ``kind`` at this event."""
+        total = 0.0
+        for index, rule in enumerate(self.rules):
+            if rule.kind is not kind or not rule.matches(queue_id, core_id):
+                continue
+            fired, rng = self._fires(index, rule)
+            if not fired:
+                continue
+            delay = rng.uniform(0.0, rule.magnitude) if uniform else rule.magnitude
+            total += delay
+            self.injections.append(
+                FaultInjection(
+                    kind=kind.value,
+                    at=at,
+                    delay=delay,
+                    queue_id=queue_id,
+                    core_id=core_id,
+                    detail=dict(detail),
+                )
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Hook-point queries (called by the memory system / bus / channels)
+    # ------------------------------------------------------------------
+
+    def bus_jitter(self, requester: int, at: float) -> float:
+        """Extra cycles before a bus transaction may request arbitration."""
+        return self._collect(
+            FaultKind.BUS_JITTER, at, queue_id=None, core_id=requester, uniform=True
+        )
+
+    def forward_fault(
+        self, queue_id: Optional[int], src: int, dst: int, at: float
+    ) -> Tuple[bool, float]:
+        """(dropped, extra_delay) verdict for one write-forward delivery."""
+        dropped = False
+        for index, rule in enumerate(self.rules):
+            if rule.kind is not FaultKind.FORWARD_DROP:
+                continue
+            if not rule.matches(queue_id, src):
+                continue
+            fired, _ = self._fires(index, rule)
+            if fired:
+                dropped = True
+                self.injections.append(
+                    FaultInjection(
+                        kind=FaultKind.FORWARD_DROP.value,
+                        at=at,
+                        delay=0.0,
+                        queue_id=queue_id,
+                        core_id=src,
+                        detail={"dst": dst},
+                    )
+                )
+        delay = 0.0
+        if not dropped:
+            delay = self._collect(
+                FaultKind.FORWARD_DELAY,
+                at,
+                queue_id=queue_id,
+                core_id=src,
+                uniform=False,
+                dst=dst,
+            )
+        return dropped, delay
+
+    def queue_slot_stall(self, queue_id: int, slot_index: int, at: float) -> float:
+        """Extra cycles before slot recycling becomes producer-visible.
+
+        ``math.inf`` wedges the channel (no further frees observed).
+        """
+        return self._collect(
+            FaultKind.QUEUE_SLOT_STALL,
+            at,
+            queue_id=queue_id,
+            core_id=None,
+            uniform=False,
+            slot=slot_index,
+        )
+
+    def ack_delay(self, core_id: int, at: float) -> float:
+        """Extra cycles before an occupancy ACK / control message issues."""
+        return self._collect(
+            FaultKind.ACK_DELAY, at, queue_id=None, core_id=core_id, uniform=False
+        )
+
+    # ------------------------------------------------------------------
+
+    def injections_for_queue(self, queue_id: int) -> List[FaultInjection]:
+        return [inj for inj in self.injections if inj.queue_id == queue_id]
+
+    def describe(self) -> str:
+        if not self.rules:
+            return f"FaultPlan(seed={self.seed}, no rules)"
+        parts = ", ".join(
+            f"{r.kind.value}x{r.magnitude:g}@p={r.probability:g}" for r in self.rules
+        )
+        return f"FaultPlan(seed={self.seed}, {parts})"

@@ -6,15 +6,21 @@ normalization conventions — returning an :class:`ExperimentResult` whose
 ``text`` is a printable rendering.  Absolute cycle counts differ from the
 paper's Itanium 2 testbed; the *shapes* (orderings, approximate factors,
 crossovers) are the reproduction targets recorded in EXPERIMENTS.md.
+
+Resilience: every (benchmark x design point) cell runs through
+:func:`~repro.harness.runner.run_benchmark_resilient`, so one deadlocking or
+runaway cell cannot abort an exhibit.  Failed cells render as the
+:data:`GAP` marker in tables, are excluded from geomeans, and surface as
+structured :class:`~repro.harness.runner.FailedRun` records (post-mortem
+attached) under ``result.failures`` / ``data["failures"]``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.core.design_points import (
-    DESIGN_POINTS,
     FIGURE7_ORDER,
     FIGURE12_ORDER,
     get_design_point,
@@ -29,8 +35,14 @@ from repro.harness.reporting import (
     normalized_series,
     with_geomean,
 )
-from repro.harness.runner import RunResult, run_benchmark, run_single_threaded
-from repro.sim.config import baseline_config
+from repro.harness.runner import (
+    FailedRun,
+    RunOutcome,
+    run_benchmark_resilient,
+    run_single_threaded,
+)
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.cosim import SimulationError
 from repro.sim.stats import geomean
 from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 
@@ -48,6 +60,9 @@ EXPERIMENT_TRIPS: Dict[str, int] = {
     "fft2": 200,
 }
 
+#: Rendered in place of a failed cell's value: an explicit gap, not a zero.
+GAP = "--"
+
 
 @dataclass
 class ExperimentResult:
@@ -57,6 +72,8 @@ class ExperimentResult:
     description: str
     data: Dict
     text: str
+    #: Structured records for every cell that failed (post-mortem attached).
+    failures: List[FailedRun] = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
@@ -64,6 +81,89 @@ class ExperimentResult:
 
 def _trips(benchmark: str, scale: float = 1.0) -> int:
     return max(32, int(EXPERIMENT_TRIPS[benchmark] * scale))
+
+
+# ----------------------------------------------------------------------
+# Resilient-grid plumbing
+# ----------------------------------------------------------------------
+
+
+def sweep(
+    benchmarks: Iterable[str],
+    design_points: Iterable[str],
+    trip_count: Optional[int] = None,
+    scale: float = 1.0,
+    config_for=None,
+) -> Dict[str, Dict[str, RunOutcome]]:
+    """Run a (benchmark x design point) grid, isolating per-cell failures.
+
+    Args:
+        benchmarks: Benchmark names to sweep.
+        design_points: Design-point names to sweep.
+        trip_count: Fixed iteration count (None = per-benchmark default
+            scaled by ``scale``).
+        scale: Multiplier on the per-benchmark defaults when ``trip_count``
+            is None.
+        config_for: Optional ``(benchmark, point) -> Optional[MachineConfig]``
+            hook supplying a custom config per cell (e.g. a seeded fault
+            plan for one deliberately perturbed cell); returning None uses
+            the design point's own config.
+
+    Returns a nested dict ``grid[benchmark][point]`` of
+    :class:`~repro.harness.runner.RunOutcome`: failing cells become
+    :class:`FailedRun` records and the rest of the grid still completes.
+    """
+    grid: Dict[str, Dict[str, RunOutcome]] = {}
+    for bench in benchmarks:
+        grid[bench] = {}
+        trips = trip_count if trip_count is not None else _trips(bench, scale)
+        for name in design_points:
+            cfg = config_for(bench, name) if config_for is not None else None
+            grid[bench][name] = run_benchmark_resilient(
+                bench, name, trips, config=cfg
+            )
+    return grid
+
+
+def _grid_failures(grid: Mapping[str, Mapping[str, RunOutcome]]) -> List[FailedRun]:
+    return [
+        cell
+        for runs in grid.values()
+        for cell in runs.values()
+        if isinstance(cell, FailedRun)
+    ]
+
+
+def _fmt(value: Optional[float]) -> str:
+    return GAP if value is None else f"{value:.2f}"
+
+
+def _partial_geomean(values: Iterable[Optional[float]]) -> Optional[float]:
+    """Geomean over the non-gap values; None when every cell is a gap."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return geomean(present)
+
+
+def _failure_footer(failures: List[FailedRun]) -> str:
+    if not failures:
+        return ""
+    lines = [f"\n\n{len(failures)} cell(s) failed (rendered as {GAP}):"]
+    for f in failures:
+        lines.append(f"  {f.benchmark}/{f.design_point}: {f.error_type}: {f.error}")
+    return "\n".join(lines)
+
+
+def _design_point_grid(
+    points, scale: float, config_transform=None
+) -> Dict[str, Dict[str, RunOutcome]]:
+    def config_for(bench: str, name: str) -> Optional[MachineConfig]:
+        if config_transform is None:
+            return None
+        return config_transform(get_design_point(name).build_config())
+
+    return sweep(BENCHMARK_ORDER, points, scale=scale, config_for=config_for)
 
 
 # ----------------------------------------------------------------------
@@ -122,55 +222,46 @@ def figure6(scale: float = 1.0) -> ExperimentResult:
         "10c/32q": with_queue_depth(with_transit_delay(point.build_config(), 10), 32),
         "10c/64q": with_queue_depth(with_transit_delay(point.build_config(), 10), 64),
     }
-    series: Dict[str, Dict[str, float]] = {}
+    labels = tuple(variants)
+    series: Dict[str, Dict[str, Optional[float]]] = {}
+    failures: List[FailedRun] = []
     for bench in BENCHMARK_ORDER:
-        cycles = {
-            label: run_benchmark(
+        cycles: Dict[str, float] = {}
+        for label, cfg in variants.items():
+            outcome = run_benchmark_resilient(
                 bench, "HEAVYWT", _trips(bench, scale), config=cfg
-            ).cycles
-            for label, cfg in variants.items()
-        }
-        series[bench] = normalized_series(cycles, "1c/32q")
-    rows = [
-        (b, f"{v['1c/32q']:.2f}", f"{v['10c/32q']:.2f}", f"{v['10c/64q']:.2f}")
-        for b, v in series.items()
-    ]
+            )
+            if isinstance(outcome, FailedRun):
+                failures.append(outcome)
+            else:
+                cycles[label] = outcome.cycles
+        if "1c/32q" in cycles:
+            normalized = normalized_series(cycles, "1c/32q")
+        else:
+            normalized = {}
+        series[bench] = {label: normalized.get(label) for label in labels}
+    rows = [(b, *(_fmt(v[label]) for label in labels)) for b, v in series.items()]
     gms = {
-        label: geomean(v[label] for v in series.values())
-        for label in ("1c/32q", "10c/32q", "10c/64q")
+        label: _partial_geomean(v[label] for v in series.values()) for label in labels
     }
-    rows.append(("GeoMean", *(f"{gms[k]:.2f}" for k in ("1c/32q", "10c/32q", "10c/64q"))))
+    rows.append(("GeoMean", *(_fmt(gms[k]) for k in labels)))
     text = (
         "== Figure 6: Effect of transit delay on streaming codes ==\n"
         + format_table(("Benchmark", "1-cycle/32", "10-cycle/32", "10-cycle/64"), rows)
+        + _failure_footer(failures)
     )
     return ExperimentResult(
         exhibit="figure6",
         description="Transit-delay tolerance of pipelined streaming (HEAVYWT)",
-        data={"normalized": series, "geomean": gms},
+        data={"normalized": series, "geomean": gms, "failures": failures},
         text=text,
+        failures=failures,
     )
 
 
 # ----------------------------------------------------------------------
 # Figures 7 / 10 / 11: design-point comparison with breakdowns
 # ----------------------------------------------------------------------
-
-
-def _design_point_grid(
-    points, scale: float, config_transform=None
-) -> Dict[str, Dict[str, RunResult]]:
-    grid: Dict[str, Dict[str, RunResult]] = {}
-    for bench in BENCHMARK_ORDER:
-        grid[bench] = {}
-        for name in points:
-            cfg = get_design_point(name).build_config()
-            if config_transform is not None:
-                cfg = config_transform(cfg)
-            grid[bench][name] = run_benchmark(
-                bench, name, _trips(bench, scale), config=cfg
-            )
-    return grid
 
 
 def _breakdown_figure(
@@ -180,33 +271,49 @@ def _breakdown_figure(
     scale: float,
     config_transform=None,
     thread: str = "producer",
+    baseline_point: Optional[str] = None,
 ) -> ExperimentResult:
     grid = _design_point_grid(points, scale, config_transform)
-    baseline_point = points[0]
-    normalized: Dict[str, Dict[str, float]] = {}
+    baseline_point = baseline_point or points[0]
+    failures = _grid_failures(grid)
+    normalized: Dict[str, Dict[str, Optional[float]]] = {}
     bars: Dict[str, Mapping[str, float]] = {}
     for bench, runs in grid.items():
-        base = runs[baseline_point].cycles
-        normalized[bench] = {name: runs[name].cycles / base for name in points}
+        baseline = runs[baseline_point]
+        if isinstance(baseline, FailedRun):
+            # No baseline, no normalization: the whole row is a gap.
+            normalized[bench] = {name: None for name in points}
+            continue
+        base = baseline.cycles
+        normalized[bench] = {}
         for name in points:
-            stats = (
-                runs[name].producer if thread == "producer" else runs[name].consumer
-            )
+            cell = runs[name]
+            if isinstance(cell, FailedRun):
+                normalized[bench][name] = None
+                continue
+            normalized[bench][name] = cell.cycles / base
+            stats = cell.producer if thread == "producer" else cell.consumer
             bars[f"{bench}/{name}"] = stats.normalized_components(base)
     gms = {
-        name: geomean(normalized[b][name] for b in normalized) for name in points
+        name: _partial_geomean(normalized[b][name] for b in normalized)
+        for name in points
     }
     text = format_breakdown_table(title, bars) + "\n\nNormalized execution time:\n"
-    rows = [
-        (b, *(f"{normalized[b][n]:.2f}" for n in points)) for b in normalized
-    ]
-    rows.append(("GeoMean", *(f"{gms[n]:.2f}" for n in points)))
+    rows = [(b, *(_fmt(normalized[b][n]) for n in points)) for b in normalized]
+    rows.append(("GeoMean", *(_fmt(gms[n]) for n in points)))
     text += format_table(("Benchmark", *points), rows)
+    text += _failure_footer(failures)
     return ExperimentResult(
         exhibit=exhibit,
         description=title,
-        data={"normalized": normalized, "geomean": gms, "bars": dict(bars)},
+        data={
+            "normalized": normalized,
+            "geomean": gms,
+            "bars": dict(bars),
+            "failures": failures,
+        },
         text=text,
+        failures=failures,
     )
 
 
@@ -272,30 +379,49 @@ def figure8(scale: float = 1.0) -> ExperimentResult:
     5-20 application instructions; wc is the extreme (3 consumes per
     iteration of a very tight loop).
     """
-    ratios: Dict[str, Dict[str, float]] = {}
+    ratios: Dict[str, Dict[str, Optional[float]]] = {}
+    failures: List[FailedRun] = []
     for bench in BENCHMARK_ORDER:
-        result = run_benchmark(bench, "HEAVYWT", _trips(bench, scale))
+        outcome = run_benchmark_resilient(bench, "HEAVYWT", _trips(bench, scale))
+        if isinstance(outcome, FailedRun):
+            failures.append(outcome)
+            ratios[bench] = {"producer": None, "consumer": None}
+            continue
         ratios[bench] = {
-            "producer": result.producer.comm_to_app_ratio,
-            "consumer": result.consumer.comm_to_app_ratio,
+            "producer": outcome.producer.comm_to_app_ratio,
+            "consumer": outcome.consumer.comm_to_app_ratio,
         }
     gms = {
-        side: geomean(max(r[side], 1e-9) for r in ratios.values())
+        side: _partial_geomean(
+            max(r[side], 1e-9) if r[side] is not None else None
+            for r in ratios.values()
+        )
         for side in ("producer", "consumer")
     }
     rows = [
-        (b, f"{r['producer']:.3f}", f"{r['consumer']:.3f}") for b, r in ratios.items()
+        (b, *(GAP if r[s] is None else f"{r[s]:.3f}" for s in ("producer", "consumer")))
+        for b, r in ratios.items()
     ]
-    rows.append(("GeoMean", f"{gms['producer']:.3f}", f"{gms['consumer']:.3f}"))
+    rows.append(
+        (
+            "GeoMean",
+            *(
+                GAP if gms[s] is None else f"{gms[s]:.3f}"
+                for s in ("producer", "consumer")
+            ),
+        )
+    )
     text = (
         "== Figure 8: comm : application instruction ratio ==\n"
         + format_table(("Benchmark", "Producer", "Consumer"), rows)
+        + _failure_footer(failures)
     )
     return ExperimentResult(
         exhibit="figure8",
         description="Dynamic communication to application instruction ratios",
-        data={"ratios": ratios, "geomean": gms},
+        data={"ratios": ratios, "geomean": gms, "failures": failures},
         text=text,
+        failures=failures,
     )
 
 
@@ -310,22 +436,47 @@ def figure9(scale: float = 1.0) -> ExperimentResult:
     Paper shape: all benchmarks at or above 1.0, geomean ~1.29x — meaning
     the other mechanisms' COMM-OP overheads can erase parallelization gains.
     """
-    speedups: Dict[str, float] = {}
+    speedups: Dict[str, Optional[float]] = {}
+    failures: List[FailedRun] = []
     for bench in BENCHMARK_ORDER:
         trips = _trips(bench, scale)
-        mt = run_benchmark(bench, "HEAVYWT", trips)
-        st = run_single_threaded(bench, trips)
+        mt = run_benchmark_resilient(bench, "HEAVYWT", trips)
+        if isinstance(mt, FailedRun):
+            failures.append(mt)
+            speedups[bench] = None
+            continue
+        try:
+            st = run_single_threaded(bench, trips)
+        except SimulationError as exc:
+            failures.append(
+                FailedRun(
+                    benchmark=bench,
+                    design_point="SINGLE",
+                    error_type=type(exc).__name__,
+                    error=str(exc).splitlines()[0],
+                    post_mortem=exc.post_mortem,
+                )
+            )
+            speedups[bench] = None
+            continue
         speedups[bench] = st.cycles / mt.cycles
-    series = with_geomean(speedups)
-    rows = [(b, f"{s:.2f}") for b, s in series.items()]
-    text = "== Figure 9: HEAVYWT loop speedup over single-threaded ==\n" + format_table(
-        ("Benchmark", "Speedup"), rows
+    present = {b: s for b, s in speedups.items() if s is not None}
+    series: Dict[str, Optional[float]] = dict(speedups)
+    series["GeoMean"] = (
+        with_geomean(present)["GeoMean"] if present else None
+    )
+    rows = [(b, _fmt(s)) for b, s in series.items()]
+    text = (
+        "== Figure 9: HEAVYWT loop speedup over single-threaded ==\n"
+        + format_table(("Benchmark", "Speedup"), rows)
+        + _failure_footer(failures)
     )
     return ExperimentResult(
         exhibit="figure9",
         description="Speedup of optimized loops in HEAVYWT over single-threaded",
-        data={"speedups": speedups, "geomean": series["GeoMean"]},
+        data={"speedups": speedups, "geomean": series["GeoMean"], "failures": failures},
         text=text,
+        failures=failures,
     )
 
 
@@ -343,16 +494,29 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
     """
     points = list(FIGURE12_ORDER)
     grid = _design_point_grid(points, scale)
-    normalized: Dict[str, Dict[str, float]] = {}
+    failures = _grid_failures(grid)
+    normalized: Dict[str, Dict[str, Optional[float]]] = {}
     producer_bars: Dict[str, Mapping[str, float]] = {}
     consumer_bars: Dict[str, Mapping[str, float]] = {}
     for bench, runs in grid.items():
-        base = runs["HEAVYWT"].cycles
-        normalized[bench] = {name: runs[name].cycles / base for name in points}
+        baseline = runs["HEAVYWT"]
+        if isinstance(baseline, FailedRun):
+            normalized[bench] = {name: None for name in points}
+            continue
+        base = baseline.cycles
+        normalized[bench] = {}
         for name in points:
-            producer_bars[f"{bench}/{name}"] = runs[name].producer.normalized_components(base)
-            consumer_bars[f"{bench}/{name}"] = runs[name].consumer.normalized_components(base)
-    gms = {name: geomean(normalized[b][name] for b in normalized) for name in points}
+            cell = runs[name]
+            if isinstance(cell, FailedRun):
+                normalized[bench][name] = None
+                continue
+            normalized[bench][name] = cell.cycles / base
+            producer_bars[f"{bench}/{name}"] = cell.producer.normalized_components(base)
+            consumer_bars[f"{bench}/{name}"] = cell.consumer.normalized_components(base)
+    gms = {
+        name: _partial_geomean(normalized[b][name] for b in normalized)
+        for name in points
+    }
     text = (
         format_breakdown_table(
             "Figure 12 (producer): stream cache and queue size effects", producer_bars
@@ -363,9 +527,10 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
         )
         + "\n\nNormalized execution time:\n"
     )
-    rows = [(b, *(f"{normalized[b][n]:.2f}" for n in points)) for b in normalized]
-    rows.append(("GeoMean", *(f"{gms[n]:.2f}" for n in points)))
+    rows = [(b, *(_fmt(normalized[b][n]) for n in points)) for b in normalized]
+    rows.append(("GeoMean", *(_fmt(gms[n]) for n in points)))
     text += format_table(("Benchmark", *points), rows)
+    text += _failure_footer(failures)
     return ExperimentResult(
         exhibit="figure12",
         description="Effect of streaming cache and queue size on SYNCOPTI",
@@ -374,8 +539,10 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
             "geomean": gms,
             "producer_bars": dict(producer_bars),
             "consumer_bars": dict(consumer_bars),
+            "failures": failures,
         },
         text=text,
+        failures=failures,
     )
 
 

@@ -5,15 +5,23 @@ cycles, per-thread component breakdowns, and communication statistics —
 with the benchmark's iteration count scaled down uniformly so the whole
 evaluation grid runs in seconds (the paper's *relative* quantities are
 iteration-count-invariant once past warm-up).
+
+Resilience: :func:`run_benchmark_resilient` is the sweep-facing entry
+point.  A cell that deadlocks or exhausts its step budget does not abort
+the grid — it becomes a structured :class:`FailedRun` carrying the
+scheduler's :class:`~repro.sim.forensics.PostMortem`, and the caller
+renders the gap explicitly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
-from repro.core.design_points import DesignPoint, get_design_point
+from repro.core.design_points import get_design_point
 from repro.sim.config import MachineConfig
+from repro.sim.cosim import SimulationError
+from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine
 from repro.sim.stats import RunStats, ThreadStats
 from repro.workloads.suite import (
@@ -29,13 +37,17 @@ DEFAULT_TRIP_COUNT = 400
 
 @dataclass
 class RunResult:
-    """Outcome of one (benchmark, design point) simulation."""
+    """Outcome of one successful (benchmark, design point) simulation."""
 
     benchmark: str
     design_point: str
     cycles: int
     stats: RunStats
-    machine: Machine = field(repr=False, default=None)
+    machine: Optional[Machine] = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        return True
 
     @property
     def producer(self) -> ThreadStats:
@@ -51,6 +63,38 @@ class RunResult:
         return t.normalized_components(baseline_cycles)
 
 
+@dataclass
+class FailedRun:
+    """A (benchmark, design point) cell that failed instead of finishing.
+
+    Produced by :func:`run_benchmark_resilient` when the simulation raises a
+    :class:`~repro.sim.cosim.SimulationError` (deadlock or step-limit).  The
+    attached post-mortem names the blocked cores and each queue channel's
+    produce/consume counts, so a failing sweep cell is a diagnosis, not a
+    stack trace.
+    """
+
+    benchmark: str
+    design_point: str
+    error_type: str
+    error: str
+    post_mortem: Optional[PostMortem] = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        head = f"{self.benchmark}/{self.design_point}: {self.error_type}: {self.error}"
+        if self.post_mortem is not None:
+            head += "\n" + self.post_mortem.render()
+        return head
+
+
+#: What one sweep cell yields: a result or a diagnosed failure.
+RunOutcome = Union[RunResult, FailedRun]
+
+
 def run_benchmark(
     benchmark: str,
     design_point: str,
@@ -63,12 +107,21 @@ def run_benchmark(
         benchmark: Suite benchmark name (see ``BENCHMARK_ORDER``).
         design_point: Name in ``DESIGN_POINTS``.
         trip_count: Loop iterations (None = the benchmark's default).
-        config: Optional pre-built machine configuration (already including
-            the design point's deltas); built from the design point if None.
+        config: Optional pre-built machine configuration.  Must be derived
+            from this design point's ``build_config()`` — sensitivity
+            overrides (bus, queue depth, transit delay, fault plans) are
+            fine, but mechanism-identity knobs are checked via
+            :meth:`DesignPoint.validate_config` and a mismatch (e.g. a
+            stream-cache config under plain SYNCOPTI) raises
+            :class:`~repro.core.design_points.DesignPointConfigError`.
     """
     point = get_design_point(design_point)
     benchmark_info(benchmark)  # validate the name early
-    cfg = config if config is not None else point.build_config()
+    if config is not None:
+        point.validate_config(config)
+        cfg = config
+    else:
+        cfg = point.build_config()
     program = build_pipelined(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
     stats = machine.run(program)
@@ -79,6 +132,30 @@ def run_benchmark(
         stats=stats,
         machine=machine,
     )
+
+
+def run_benchmark_resilient(
+    benchmark: str,
+    design_point: str,
+    trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
+    config: Optional[MachineConfig] = None,
+) -> RunOutcome:
+    """Like :func:`run_benchmark`, but a failing simulation becomes data.
+
+    Only simulation failures (deadlock, step-limit) are absorbed; genuine
+    usage errors — unknown names, config mismatches — still raise, because
+    silently skipping those would hide bugs, not hardware behavior.
+    """
+    try:
+        return run_benchmark(benchmark, design_point, trip_count, config=config)
+    except SimulationError as exc:
+        return FailedRun(
+            benchmark=benchmark,
+            design_point=design_point,
+            error_type=type(exc).__name__,
+            error=str(exc).splitlines()[0],
+            post_mortem=exc.post_mortem,
+        )
 
 
 def run_single_threaded(

@@ -25,8 +25,9 @@ kept so tests can check fairness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.sim.config import BusConfig
 
 
@@ -61,9 +62,12 @@ class SharedBus:
     #: Payload size used for address-only / control messages (occupies one beat).
     CONTROL_BYTES = 8
 
-    def __init__(self, config: BusConfig) -> None:
+    def __init__(self, config: BusConfig, faults: Optional[FaultPlan] = None) -> None:
         config.validate()
         self.config = config
+        #: Optional fault plan adding arbitration-request jitter (robustness
+        #: studies); the bus model itself stays fault-oblivious beyond this.
+        self.faults = faults
         # Busy intervals (start, end), kept sorted by start.  A split-
         # transaction bus interleaves unrelated transactions between the
         # address and data phases of an outstanding miss, so a transfer
@@ -98,6 +102,11 @@ class SharedBus:
         """
         if payload_bytes < 0:
             raise ValueError("payload must be non-negative")
+        requested = at
+        if self.faults is not None:
+            # Injected jitter delays the arbitration request; the requester
+            # observes it as extra BUS wait (request_time stays unjittered).
+            at += self.faults.bus_jitter(requester, at)
         end_to_end = self.end_to_end_cycles(payload_bytes)
         if self.config.pipelined:
             # The bus re-opens once the beats are injected.
@@ -109,7 +118,7 @@ class SharedBus:
         self.transactions += 1
         self.busy_cycles += hold
         self.grants_by_requester[requester] = self.grants_by_requester.get(requester, 0) + 1
-        return BusTransaction(request_time=at, grant_time=grant, done_time=done)
+        return BusTransaction(request_time=requested, grant_time=grant, done_time=done)
 
     def _reserve(self, at: float, hold: float) -> float:
         """First-fit gap allocation of ``hold`` cycles starting at ``at``."""

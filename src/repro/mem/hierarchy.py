@@ -21,9 +21,10 @@ the bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
+from repro.core.queue_model import queue_of_addr
 from repro.mem.bus import SharedBus
 from repro.mem.cache import CacheArray, LineState
 from repro.mem.memory import MainMemory
@@ -76,7 +77,10 @@ class MemorySystem:
             CacheArray(config.l2, name=f"L2-{c}") for c in range(self.n_cores)
         ]
         self.l3 = CacheArray(config.l3, name="L3")
-        self.bus = SharedBus(config.bus)
+        #: The shared fault plan (None = happy path); hooks below and in the
+        #: bus consult it so the mechanisms themselves stay fault-oblivious.
+        self.faults = config.faults
+        self.bus = SharedBus(config.bus, faults=config.faults)
         self.ozq: List[OzQ] = [
             OzQ(config.ozq_depth, config.l2_ports, config.recirculation_interval)
             for _ in range(self.n_cores)
@@ -89,6 +93,7 @@ class MemorySystem:
         self.loads = 0
         self.stores = 0
         self.forwards = 0
+        self.dropped_forwards = 0
         self.cache_to_cache_transfers = 0
         self.upgrades = 0
 
@@ -367,7 +372,7 @@ class MemorySystem:
         at: float,
         release_src: bool = False,
         contend_ports: bool = True,
-    ) -> float:
+    ) -> Optional[float]:
         """Producer-initiated write-forward of a full queue line (§3.5.1).
 
         Pushes the L2 line containing ``addr`` from ``src``'s L2 into
@@ -375,6 +380,13 @@ class MemorySystem:
         occupies an OzQ entry and L2 ports at the source; while it waits for
         the bus it recirculates, churning source ports — the behaviour that
         makes MEMOPTI lose to EXISTING under port pressure (Section 4.4).
+
+        Fault injection: an active plan may delay the delivery (arrival
+        shifts later) or drop it entirely — the push still costs the source
+        its OzQ/port/bus time, but nothing is installed at the destination,
+        the source keeps ownership, and ``None`` is returned.  Callers treat
+        ``None`` as "this line never arrived" and fall back to their demand
+        paths (SYNCOPTI's partial-line timeout, MEMOPTI's coherence miss).
 
         Args:
             release_src: Invalidate the source copy (SYNCOPTI's ownership
@@ -392,6 +404,14 @@ class MemorySystem:
             ozq.recirculate(ready, tx.grant_time)
         arrival = tx.done_time
         ozq.end_entry(entry, arrival)
+        if self.faults is not None:
+            dropped, delay = self.faults.forward_fault(
+                queue_of_addr(addr), src=src, dst=dst, at=at
+            )
+            if dropped:
+                self.dropped_forwards += 1
+                return None
+            arrival += delay
         src_line = self.l2[src].probe(line)
         if src_line is not None:
             if release_src:
@@ -435,6 +455,12 @@ class MemorySystem:
         return self._l2_load(core, addr, at, streaming=True, fill_l1=False)
 
     def control_ack(self, core: int, at: float) -> float:
-        """Small bus message (occupancy-counter update / bulk ACK)."""
+        """Small bus message (occupancy-counter update / bulk ACK).
+
+        Fault injection: ACK_DELAY rules push the message's issue time back,
+        modeling a slow counter-update path (SYNCOPTI's occupancy ACKs).
+        """
+        if self.faults is not None:
+            at += self.faults.ack_delay(core, at)
         tx = self.bus.control_message(at, requester=core)
         return tx.done_time

@@ -23,6 +23,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.plan import FaultPlan
+
 
 @dataclass
 class CoreConfig:
@@ -200,6 +202,12 @@ class MachineConfig:
     stream_cache: StreamCacheConfig = field(default_factory=StreamCacheConfig)
     dedicated: DedicatedStoreConfig = field(default_factory=DedicatedStoreConfig)
     syncopti: SyncOptiConfig = field(default_factory=SyncOptiConfig)
+    #: Optional seeded fault-injection plan (robustness studies).  ``None``
+    #: means the fault-free happy path; a plan is consulted at the narrow
+    #: hook points in the bus, memory hierarchy, and queue channels.  Shared
+    #: by reference across ``copy()``; each ``Machine`` resets it at
+    #: construction so reuse across grid cells stays deterministic.
+    faults: Optional[FaultPlan] = None
 
     def validate(self) -> "MachineConfig":
         """Check invariants; returns self so it chains after construction."""
@@ -220,6 +228,8 @@ class MachineConfig:
             raise ValueError("OzQ depth must be positive")
         if self.l2.line_bytes != self.l3.line_bytes:
             raise ValueError("L2 and L3 line sizes must match in this model")
+        if self.faults is not None:
+            self.faults.validate()
         return self
 
     def copy(self, **overrides) -> "MachineConfig":

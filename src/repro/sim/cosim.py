@@ -18,20 +18,42 @@ Yield protocol (producer side is the core/mechanism code):
   without the predicate holding — used by SYNCOPTI's partial-line timeout.
 
 A generator finishing (``StopIteration``) marks its core done.
+
+Failure forensics: when the scheduler detects a deadlock (everyone blocked,
+no deadline can fire) or exhausts its step budget, it raises a
+:class:`SimulationError` subclass carrying a structured
+:class:`~repro.sim.forensics.PostMortem` (``exc.post_mortem``) built from
+its per-core book-keeping plus whatever the optional ``context_probe``
+callback supplies (queue-channel snapshots and fault-injection records from
+the owning :class:`~repro.sim.machine.Machine`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
+
+from repro.sim.forensics import ChannelDump, CoreDump, PostMortem
+
+#: Signature of the optional machine-context probe: returns (channel
+#: snapshots, fault-injection records) for post-mortem construction.
+ContextProbe = Callable[[], Tuple[Sequence[ChannelDump], Sequence[object]]]
 
 
-class DeadlockError(RuntimeError):
+class SimulationError(RuntimeError):
+    """Base class for scheduler failures; carries a structured post-mortem."""
+
+    def __init__(self, message: str, post_mortem: Optional[PostMortem] = None) -> None:
+        super().__init__(message)
+        self.post_mortem = post_mortem
+
+
+class DeadlockError(SimulationError):
     """All live cores are blocked and no deadline can fire."""
 
 
-class SimulationLimitError(RuntimeError):
+class SimulationLimitError(SimulationError):
     """The scheduler exceeded its step budget (runaway program)."""
 
 
@@ -53,17 +75,26 @@ class CoreRunner:
     deadline: Optional[float] = None
     resume_value: Optional[str] = None
     steps: int = 0
+    #: Scheduler step / local time at this runner's most recent advance.
+    last_progress_step: int = 0
+    last_progress_time: float = 0.0
 
 
 class Scheduler:
     """Min-timestamp scheduler over a set of core generators."""
 
-    def __init__(self, generators, max_steps: int = 50_000_000) -> None:
+    def __init__(
+        self,
+        generators,
+        max_steps: int = 50_000_000,
+        context_probe: Optional[ContextProbe] = None,
+    ) -> None:
         self.runners: List[CoreRunner] = [
             CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
         ]
         self.max_steps = max_steps
         self.total_steps = 0
+        self.context_probe = context_probe
 
     def run(self) -> None:
         """Drive all cores to completion."""
@@ -113,7 +144,12 @@ class Scheduler:
         runner.deadline = None
 
     def _fire_timeout(self) -> bool:
-        """With everyone blocked, fire the earliest deadline, if any."""
+        """With everyone blocked, fire the earliest deadline, if any.
+
+        Ties (equal deadlines) resolve to the lowest core id: ``min`` is
+        stable and runners are kept in core-id order, so repeated runs fire
+        the same runner first — determinism the tests pin down.
+        """
         candidates = [
             r for r in self.runners if r.state is _State.BLOCKED and r.deadline is not None
         ]
@@ -122,25 +158,69 @@ class Scheduler:
         self._wake(min(candidates, key=lambda r: r.deadline), "timeout")
         return True
 
+    # ------------------------------------------------------------------
+    # Failure forensics
+    # ------------------------------------------------------------------
+
+    def build_post_mortem(self, reason: str) -> PostMortem:
+        """Snapshot scheduler + machine context into a structured report."""
+        cores = [
+            CoreDump(
+                core_id=r.core_id,
+                state=r.state.value,
+                time=r.time,
+                steps=r.steps,
+                last_progress_step=r.last_progress_step,
+                last_progress_time=r.last_progress_time,
+                deadline=r.deadline,
+            )
+            for r in self.runners
+        ]
+        channels: List[ChannelDump] = []
+        injections: List[object] = []
+        if self.context_probe is not None:
+            probed_channels, probed_injections = self.context_probe()
+            channels = list(probed_channels)
+            injections = list(probed_injections)
+        return PostMortem(
+            reason=reason,
+            total_steps=self.total_steps,
+            cores=cores,
+            channels=channels,
+            injections=injections,
+        )
+
     def _raise_deadlock(self) -> None:
         blocked = [r.core_id for r in self.runners if r.state is _State.BLOCKED]
+        pm = self.build_post_mortem("deadlock")
         raise DeadlockError(
             f"cores {blocked} are blocked with no satisfiable predicate — "
-            "produce/consume counts are mismatched or a queue dependency cycle exists"
+            "produce/consume counts are mismatched or a queue dependency "
+            f"cycle exists\n{pm.render()}",
+            post_mortem=pm,
         )
+
+    def _raise_limit(self) -> None:
+        pm = self.build_post_mortem("step-limit")
+        raise SimulationLimitError(
+            f"exceeded {self.max_steps} scheduler steps; "
+            f"suspected runaway workload\n{pm.render()}",
+            post_mortem=pm,
+        )
+
+    # ------------------------------------------------------------------
 
     def _step(self, runner: CoreRunner) -> None:
         self.total_steps += 1
         runner.steps += 1
+        runner.last_progress_step = self.total_steps
         if self.total_steps > self.max_steps:
-            raise SimulationLimitError(
-                f"exceeded {self.max_steps} scheduler steps; "
-                "suspected runaway workload"
-            )
+            self._raise_limit()
         try:
             msg = runner.gen.send(runner.resume_value)
         except StopIteration:
             runner.state = _State.DONE
+            runner.last_progress_time = runner.time
             return
         finally:
             runner.resume_value = None
@@ -149,6 +229,7 @@ class Scheduler:
         kind = msg[0]
         if kind == "time":
             runner.time = max(runner.time, float(msg[1]))
+            runner.last_progress_time = runner.time
         elif kind == "block":
             _, predicate, deadline = msg
             if predicate():

@@ -15,7 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.mechanism import create_mechanism
 
@@ -30,6 +30,7 @@ from repro.mem.hierarchy import MemorySystem
 from repro.sim.config import MachineConfig
 from repro.sim.core import CoreModel
 from repro.sim.cosim import Scheduler
+from repro.sim.forensics import dump_channel
 from repro.sim.program import Program
 from repro.sim.stats import RunStats
 
@@ -39,6 +40,12 @@ class Machine:
 
     def __init__(self, config: MachineConfig, mechanism: str = "existing") -> None:
         self.config = config.validate()
+        #: Fault plan shared with the memory system / bus / channels.  Reset
+        #: here so a plan reused across grid cells starts every run from
+        #: event zero — same seed, same injections, same RunStats.
+        self.faults = config.faults
+        if self.faults is not None:
+            self.faults.reset()
         self.mem = MemorySystem(config)
         self.mechanism = create_mechanism(mechanism, self)
         self.mem.on_streaming_eviction = self.mechanism.on_streaming_eviction
@@ -55,9 +62,19 @@ class Machine:
                     f"queue {queue_id} exceeds the configured "
                     f"{self.config.queues.n_queues} queues"
                 )
-            ch = QueueChannel(layout=self.mechanism.layout_for(queue_id))
+            ch = QueueChannel(
+                layout=self.mechanism.layout_for(queue_id), fault_plan=self.faults
+            )
             self.channels[queue_id] = ch
         return ch
+
+    def _forensics_probe(self):
+        """Channel snapshots + fault log for scheduler post-mortems."""
+        channels = [
+            dump_channel(self.channels[qid]) for qid in sorted(self.channels)
+        ]
+        injections = list(self.faults.injections) if self.faults is not None else []
+        return channels, injections
 
     def run(self, program: Program, max_steps: int = 50_000_000) -> RunStats:
         """Co-simulate ``program`` to completion; returns per-thread stats."""
@@ -79,7 +96,9 @@ class Machine:
             self.cores[i].run(thread.instructions())
             for i, thread in enumerate(program.threads)
         ]
-        Scheduler(generators, max_steps=max_steps).run()
+        Scheduler(
+            generators, max_steps=max_steps, context_probe=self._forensics_probe
+        ).run()
         return RunStats(
             threads=[self.cores[i].stats for i in range(program.n_threads)]
         )

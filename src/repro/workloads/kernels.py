@@ -23,7 +23,7 @@ backing region (0x8000_0000+).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict
 
 from repro.dswp.ir import Loop, Op, OpKind, PointerChase, Sequential, Strided
 

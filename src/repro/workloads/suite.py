@@ -9,7 +9,7 @@ for the StreamIt kernels and the bzip2 loop nest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.dswp.codegen import lower_partition, lower_single_threaded
 from repro.dswp.ir import Loop

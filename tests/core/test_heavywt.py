@@ -5,7 +5,6 @@ import pytest
 from repro.core.interconnect import DedicatedInterconnect
 from repro.sim import isa
 from repro.sim.config import baseline_config
-from repro.sim.machine import Machine
 from repro.sim.program import Program, ThreadProgram
 
 from tests.conftest import run_mechanism, simple_stream_program

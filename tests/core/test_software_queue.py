@@ -1,6 +1,5 @@
 """Tests specific to EXISTING (software queues) and MEMOPTI (write-forwarding)."""
 
-import pytest
 
 from repro.sim import isa
 from repro.sim.config import baseline_config

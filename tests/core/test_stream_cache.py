@@ -1,6 +1,5 @@
 """Tests for the stream cache structure and the SYNCOPTI_SC mechanism."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.stream_cache import StreamCache

@@ -1,6 +1,5 @@
 """Tests specific to the SYNCOPTI mechanism (Section 4.2)."""
 
-import pytest
 
 from repro.sim import isa
 from repro.sim.config import baseline_config

@@ -1,13 +1,7 @@
 """Unit tests for the code generator (lowering, hoisting, comm insertion)."""
 
-import pytest
 
-from repro.dswp.codegen import (
-    DEFAULT_HOIST_DEPTH,
-    hoistable_ops,
-    lower_partition,
-    lower_single_threaded,
-)
+from repro.dswp.codegen import hoistable_ops, lower_partition, lower_single_threaded
 from repro.dswp.ir import Loop, Op, OpKind, Sequential
 from repro.dswp.partition import partition_loop
 from repro.sim.isa import InstrKind

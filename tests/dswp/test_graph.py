@@ -1,6 +1,5 @@
 """Unit + property tests for the graph algorithms (Tarjan SCC, condensation)."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

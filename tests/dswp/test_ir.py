@@ -4,15 +4,7 @@ import itertools
 
 import pytest
 
-from repro.dswp.ir import (
-    AddressPattern,
-    Loop,
-    Op,
-    OpKind,
-    PointerChase,
-    Sequential,
-    Strided,
-)
+from repro.dswp.ir import Loop, Op, OpKind, PointerChase, Sequential, Strided
 
 
 def take(stream, n):

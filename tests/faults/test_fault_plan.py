@@ -1,0 +1,201 @@
+"""Unit tests for the seeded fault plan (rules, windows, determinism)."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultRule
+
+
+def _rule(**kw):
+    kw.setdefault("kind", FaultKind.BUS_JITTER)
+    kw.setdefault("magnitude", 10.0)
+    return FaultRule(**kw)
+
+
+class TestRuleValidation:
+    def test_valid_rule_passes(self):
+        _rule(probability=0.5, after=2, count=3).validate()
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            _rule(probability=1.5).validate()
+        with pytest.raises(ValueError, match="probability"):
+            _rule(probability=-0.1).validate()
+
+    def test_negative_magnitude(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            _rule(magnitude=-1.0).validate()
+
+    def test_infinite_magnitude_only_for_slot_stall(self):
+        FaultRule(kind=FaultKind.QUEUE_SLOT_STALL, magnitude=math.inf).validate()
+        with pytest.raises(ValueError, match="infinite"):
+            _rule(magnitude=math.inf).validate()
+
+    def test_bad_after_and_count(self):
+        with pytest.raises(ValueError, match="after"):
+            _rule(after=-1).validate()
+        with pytest.raises(ValueError, match="count"):
+            _rule(count=0).validate()
+
+    def test_plan_validate_propagates(self):
+        plan = FaultPlan(rules=(_rule(probability=2.0),))
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestRuleMatching:
+    def test_unrestricted_rule_matches_everything(self):
+        r = _rule()
+        assert r.matches(queue_id=3, core_id=1)
+        assert r.matches(queue_id=None, core_id=None)
+
+    def test_queue_restriction(self):
+        r = _rule(queue_id=2)
+        assert r.matches(queue_id=2, core_id=0)
+        assert not r.matches(queue_id=1, core_id=0)
+
+    def test_core_restriction(self):
+        r = _rule(core_id=1)
+        assert r.matches(queue_id=None, core_id=1)
+        assert not r.matches(queue_id=None, core_id=0)
+
+    def test_restricted_bus_jitter_only_hits_matching_requester(self):
+        plan = FaultPlan(seed=1, rules=(_rule(core_id=1, probability=1.0),))
+        assert plan.bus_jitter(requester=0, at=0.0) == 0.0
+        assert plan.bus_jitter(requester=1, at=0.0) > 0.0
+
+
+class TestWindows:
+    def test_after_skips_leading_events(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.ACK_DELAY, magnitude=5.0, after=2),)
+        )
+        delays = [plan.ack_delay(core_id=0, at=float(i)) for i in range(5)]
+        assert delays == [0.0, 0.0, 5.0, 5.0, 5.0]
+
+    def test_count_caps_injections(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind=FaultKind.ACK_DELAY, magnitude=5.0, after=1, count=2),
+            )
+        )
+        delays = [plan.ack_delay(core_id=0, at=float(i)) for i in range(5)]
+        assert delays == [0.0, 5.0, 5.0, 0.0, 0.0]
+        assert len(plan.injections) == 2
+
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan(
+            seed=3,
+            rules=(FaultRule(kind=FaultKind.ACK_DELAY, magnitude=5.0, probability=0.0),),
+        )
+        assert all(plan.ack_delay(core_id=0, at=0.0) == 0.0 for _ in range(50))
+        assert plan.injections == []
+
+    def test_fractional_probability_fires_sometimes(self):
+        plan = FaultPlan(
+            seed=5,
+            rules=(FaultRule(kind=FaultKind.ACK_DELAY, magnitude=5.0, probability=0.5),),
+        )
+        delays = [plan.ack_delay(core_id=0, at=0.0) for _ in range(200)]
+        fired = sum(1 for d in delays if d > 0)
+        assert 50 < fired < 150  # wildly loose; just "not 0% and not 100%"
+
+
+class TestDeterminism:
+    def _drive(self, plan):
+        out = []
+        for i in range(20):
+            out.append(plan.bus_jitter(requester=i % 2, at=float(i)))
+            out.append(plan.ack_delay(core_id=0, at=float(i)))
+        return out
+
+    def _rules(self):
+        return (
+            FaultRule(kind=FaultKind.BUS_JITTER, magnitude=30.0, probability=0.7),
+            FaultRule(kind=FaultKind.ACK_DELAY, magnitude=8.0, probability=0.4),
+        )
+
+    def test_same_seed_same_draws(self):
+        a = FaultPlan(seed=42, rules=self._rules())
+        b = FaultPlan(seed=42, rules=self._rules())
+        assert self._drive(a) == self._drive(b)
+
+    def test_different_seed_different_draws(self):
+        a = FaultPlan(seed=42, rules=self._rules())
+        b = FaultPlan(seed=43, rules=self._rules())
+        assert self._drive(a) != self._drive(b)
+
+    def test_reset_rewinds_to_event_zero(self):
+        plan = FaultPlan(seed=42, rules=self._rules())
+        first = self._drive(plan)
+        plan.reset()
+        assert plan.injections == []
+        assert self._drive(plan) == first
+
+    def test_bus_jitter_bounded_by_magnitude(self):
+        plan = FaultPlan(seed=9, rules=(_rule(magnitude=30.0),))
+        for i in range(50):
+            assert 0.0 <= plan.bus_jitter(requester=0, at=float(i)) <= 30.0
+
+
+class TestForwardFault:
+    def test_drop_rule_drops_even_at_zero_magnitude(self):
+        plan = FaultPlan(rules=(FaultRule(kind=FaultKind.FORWARD_DROP),))
+        dropped, delay = plan.forward_fault(queue_id=0, src=0, dst=1, at=10.0)
+        assert dropped and delay == 0.0
+        assert plan.injections[0].kind == "forward-drop"
+        assert plan.injections[0].detail == {"dst": 1}
+
+    def test_delay_suppressed_when_dropped(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind=FaultKind.FORWARD_DROP),
+                FaultRule(kind=FaultKind.FORWARD_DELAY, magnitude=100.0),
+            )
+        )
+        dropped, delay = plan.forward_fault(queue_id=0, src=0, dst=1, at=0.0)
+        assert dropped and delay == 0.0
+
+    def test_delay_applies_when_not_dropped(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.FORWARD_DELAY, magnitude=100.0),)
+        )
+        dropped, delay = plan.forward_fault(queue_id=0, src=0, dst=1, at=0.0)
+        assert not dropped and delay == 100.0
+
+    def test_queue_restricted_drop(self):
+        plan = FaultPlan(rules=(FaultRule(kind=FaultKind.FORWARD_DROP, queue_id=1),))
+        assert plan.forward_fault(queue_id=0, src=0, dst=1, at=0.0) == (False, 0.0)
+        assert plan.forward_fault(queue_id=1, src=0, dst=1, at=0.0)[0] is True
+
+
+class TestSlotStallAndLog:
+    def test_infinite_stall_reported(self):
+        plan = FaultPlan(
+            rules=(FaultRule(kind=FaultKind.QUEUE_SLOT_STALL, magnitude=math.inf),)
+        )
+        assert math.isinf(plan.queue_slot_stall(queue_id=0, slot_index=0, at=5.0))
+
+    def test_injections_for_queue_filters(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(kind=FaultKind.QUEUE_SLOT_STALL, magnitude=3.0, queue_id=0),
+                FaultRule(kind=FaultKind.ACK_DELAY, magnitude=2.0),
+            )
+        )
+        plan.queue_slot_stall(queue_id=0, slot_index=0, at=1.0)
+        plan.ack_delay(core_id=0, at=2.0)
+        assert len(plan.injections) == 2
+        assert [i.kind for i in plan.injections_for_queue(0)] == ["queue-slot-stall"]
+
+    def test_describe_mentions_seed_and_rules(self):
+        assert "seed=7" in FaultPlan(seed=7).describe()
+        plan = FaultPlan(seed=7, rules=(_rule(magnitude=12.0, probability=0.25),))
+        assert "bus-jitter" in plan.describe()
+
+    def test_injection_describe_renders(self):
+        plan = FaultPlan(rules=(FaultRule(kind=FaultKind.ACK_DELAY, magnitude=4.0),))
+        plan.ack_delay(core_id=1, at=100.0)
+        text = plan.injections[0].describe()
+        assert "ack-delay" in text and "core 1" in text and "t=100" in text

@@ -6,7 +6,6 @@ iteration counts, so the bands are deliberately generous; EXPERIMENTS.md
 records the full-scale numbers.
 """
 
-import math
 
 import pytest
 

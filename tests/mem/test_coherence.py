@@ -1,6 +1,5 @@
 """Unit + property tests for the MESI protocol tables."""
 
-import itertools
 
 import pytest
 from hypothesis import given, strategies as st

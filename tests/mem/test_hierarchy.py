@@ -4,7 +4,6 @@ import pytest
 
 from repro.mem.cache import LineState
 from repro.mem.hierarchy import MemorySystem
-from repro.sim.config import baseline_config
 
 
 @pytest.fixture

@@ -4,14 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.sim.config import (
-    BusConfig,
-    CacheConfig,
-    MachineConfig,
-    QueueConfig,
-    StreamCacheConfig,
-    baseline_config,
-)
+from repro.sim.config import BusConfig, CacheConfig, StreamCacheConfig, baseline_config
 
 
 class TestTable2Defaults:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import isa
 from repro.sim.config import baseline_config
-from repro.sim.cosim import Scheduler
 from repro.sim.machine import Machine
 from repro.sim.program import Program, ThreadProgram
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim.cosim import DeadlockError, Scheduler, SimulationLimitError
+from repro.sim.forensics import ChannelDump
 
 
 def test_single_generator_runs_to_completion():
@@ -140,6 +141,102 @@ def test_earliest_deadline_fires_first():
     # Both blocked; deadline 10 must fire before deadline 20.
     Scheduler([w("late", 20.0), w("early", 10.0)]).run()
     assert log[0][0] == "early"
+
+
+def test_equal_deadlines_fire_lowest_core_id_first():
+    """Tie-break: min() is stable over core-id order, so with identical
+    deadlines the lowest core id must time out first — a determinism
+    guarantee fault-injection sweeps rely on."""
+    log = []
+
+    def w(name):
+        status = yield ("block", lambda: len(log) >= 2, 10.0)
+        log.append((name, status))
+
+    Scheduler([w("core0"), w("core1"), w("core2")]).run()
+    assert [name for name, _ in log] == ["core0", "core1", "core2"]
+    assert all(status == "timeout" for _, status in log[:2])
+
+
+def test_already_satisfied_predicate_skips_blocking():
+    """The _step fast path must answer "ok" without parking the runner:
+    the predicate is evaluated exactly once and never re-polled."""
+    calls = []
+
+    def spy():
+        calls.append(1)
+        return True
+
+    statuses = []
+
+    def gen():
+        statuses.append((yield ("block", spy, None)))
+        yield ("time", 1.0)
+
+    Scheduler([gen()]).run()
+    assert statuses == ["ok"]
+    assert len(calls) == 1
+
+
+def test_deadlock_post_mortem_contents():
+    def blocked():
+        yield ("time", 5.0)
+        yield ("block", lambda: False, None)
+
+    def done():
+        yield ("time", 1.0)
+
+    with pytest.raises(DeadlockError) as excinfo:
+        Scheduler([blocked(), done(), blocked()]).run()
+    pm = excinfo.value.post_mortem
+    assert pm is not None
+    assert pm.reason == "deadlock"
+    assert pm.blocked_cores() == [0, 2]
+    states = {c.core_id: c.state for c in pm.cores}
+    assert states == {0: "blocked", 1: "done", 2: "blocked"}
+    assert all(c.last_progress_step > 0 for c in pm.cores)
+    # The rendered report rides in the exception message too.
+    assert "post-mortem (deadlock" in str(excinfo.value)
+
+
+def test_limit_post_mortem_and_context_probe():
+    sentinel_channel = ChannelDump(
+        queue_id=3,
+        producer_core=0,
+        consumer_core=1,
+        depth=32,
+        n_produced=40,
+        n_consumed=8,
+        n_published=40,
+        n_freed=8,
+    )
+
+    def probe():
+        return [sentinel_channel], ["inj-record"]
+
+    def runaway():
+        while True:
+            yield ("time", 0.0)
+
+    with pytest.raises(SimulationLimitError) as excinfo:
+        Scheduler([runaway()], max_steps=50, context_probe=probe).run()
+    pm = excinfo.value.post_mortem
+    assert pm.reason == "step-limit"
+    assert pm.total_steps == 51
+    assert pm.channels == [sentinel_channel]
+    assert pm.injections == ["inj-record"]
+    assert "queue 3" in pm.render()
+
+
+def test_deadlock_without_probe_has_empty_context():
+    def blocked():
+        yield ("block", lambda: False, None)
+
+    with pytest.raises(DeadlockError) as excinfo:
+        Scheduler([blocked()]).run()
+    pm = excinfo.value.post_mortem
+    assert pm.channels == [] and pm.injections == []
+    assert "no queue channels" in pm.render()
 
 
 def test_two_way_handshake():

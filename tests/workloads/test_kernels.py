@@ -1,8 +1,6 @@
 """Kernel-level tests: calibration properties of the rebuilt Table 1 loops."""
 
-import itertools
 
-import pytest
 
 from repro.dswp.ir import OpKind
 from repro.workloads.kernels import _BASE, HAND_PARTITIONS, LOOP_BUILDERS

@@ -1,6 +1,5 @@
 """Tests for the hand-written bzip2 loop-nest kernel."""
 
-import pytest
 
 from repro.sim.config import baseline_config
 from repro.sim.isa import InstrKind

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.config import baseline_config
-from repro.sim.isa import InstrKind
 from repro.sim.machine import Machine
 from repro.workloads.suite import (
     BENCHMARK_ORDER,
