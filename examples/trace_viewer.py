@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Trace viewer: record a cycle-level event trace and explore it three ways.
+
+Runs one benchmark on one design point with tracing enabled, then:
+
+1. writes a Chrome-trace JSON you can load in ``chrome://tracing`` or
+   https://ui.perfetto.dev (one row per core, one row per queue),
+2. prints the trace-derived timelines — queue-occupancy summary and
+   windowed shared-bus utilization — with their invariant checks, and
+3. prints the COMM-OP delay comparison across all four design points
+   (the paper's Section 4.3 measurement).
+
+Examples::
+
+    python examples/trace_viewer.py
+    python examples/trace_viewer.py --benchmark fir --design-point MEMOPTI \\
+        --trips 400 --out fir_memopti.trace.json
+    python examples/trace_viewer.py --skip-profile   # just export + timelines
+"""
+
+import argparse
+
+from repro import (
+    COMM_OP_POINTS,
+    CommOpProfiler,
+    TraceConfig,
+    bus_utilization,
+    check_bus_utilization,
+    check_occupancy,
+    occupancy_plateaus,
+    queue_occupancy,
+    run_benchmark,
+    write_chrome_trace,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="wc", help="suite benchmark name")
+    parser.add_argument(
+        "--design-point",
+        default="SYNCOPTI",
+        choices=list(COMM_OP_POINTS),
+        help="design point to trace",
+    )
+    parser.add_argument("--trips", type=int, default=300, help="loop iterations")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="Chrome-trace output path (default: <benchmark>_<point>.trace.json)",
+    )
+    parser.add_argument(
+        "--skip-profile",
+        action="store_true",
+        help="skip the 4-point COMM-OP comparison (faster)",
+    )
+    return parser.parse_args()
+
+
+def show_timelines(trace, depth: int) -> None:
+    queues = sorted({ev.queue for ev in trace.select(kind="queue.publish")})
+    print("\n== Queue occupancy (from queue.publish / queue.free events) ==")
+    for qid in queues:
+        samples = queue_occupancy(trace, qid)
+        violations = check_occupancy(samples, depth, queue_id=qid)
+        peak = max(occ for _ts, occ in samples)
+        full = occupancy_plateaus(samples, min_duration=100.0, level=depth)
+        status = "OK" if not violations else violations[0].describe()
+        print(
+            f"  queue {qid}: {len(samples)} steps, peak {peak}/{depth}, "
+            f"{len(full)} full-queue plateau(s) >= 100cy, invariants {status}"
+        )
+
+    windows = bus_utilization(trace, window=1000.0)
+    print("\n== Shared-bus utilization (1000-cycle windows) ==")
+    bad = check_bus_utilization(windows)
+    for w in windows[:20]:
+        bar = "#" * int(w.utilization * 40)
+        print(f"  t={w.start:7.0f}  {100 * w.utilization:5.1f}%  {bar}")
+    if len(windows) > 20:
+        print(f"  ... {len(windows) - 20} more windows")
+    print(f"  invariants: {'OK' if not bad else f'{len(bad)} window(s) over-booked'}")
+
+
+def main() -> None:
+    args = parse_args()
+    out = args.out or f"{args.benchmark}_{args.design_point.lower()}.trace.json"
+
+    result = run_benchmark(
+        args.benchmark,
+        args.design_point,
+        trip_count=args.trips,
+        trace=TraceConfig(capacity=1 << 20),
+    )
+    trace = result.trace
+    print(
+        f"{args.benchmark} on {args.design_point}, {args.trips} iterations: "
+        f"{result.cycles} cycles, {trace.emitted} events traced"
+    )
+
+    write_chrome_trace(trace, out)
+    print(f"Chrome trace written to {out} (load in chrome://tracing or Perfetto)")
+
+    show_timelines(trace, depth=result.machine.config.queues.depth)
+
+    if not args.skip_profile:
+        print()
+        report = CommOpProfiler(
+            benchmarks=(args.benchmark,), trip_count=min(args.trips, 200)
+        ).profile()
+        print(report.render())
+        print(f"\nCOMM-OP delay ordering: {' > '.join(report.ordering())}")
+
+
+if __name__ == "__main__":
+    main()

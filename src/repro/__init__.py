@@ -18,7 +18,10 @@ The package provides:
   per-cell failure isolation for sweeps;
 * :mod:`repro.faults` — seeded, deterministic fault injection (forward
   delay/drop, bus jitter, queue-slot stalls, ACK delays) for exercising
-  the mechanisms' tolerance paths and the scheduler's post-mortems.
+  the mechanisms' tolerance paths and the scheduler's post-mortems;
+* :mod:`repro.trace` — cycle-level event tracing with zero overhead when
+  disabled: Chrome-trace/CSV exporters, queue-occupancy and
+  bus-utilization timelines, and the COMM-OP delay profiler.
 
 Quickstart::
 
@@ -55,6 +58,23 @@ from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine, run_program
 from repro.sim.program import Program, ThreadProgram
 from repro.sim.stats import RunStats, ThreadStats, geomean
+from repro.trace import (
+    COMM_OP_POINTS,
+    CommOpProfiler,
+    CommOpReport,
+    TraceBuffer,
+    TraceConfig,
+    TraceEvent,
+    bus_utilization,
+    check_bus_utilization,
+    check_occupancy,
+    measure_comm_ops,
+    occupancy_plateaus,
+    queue_occupancy,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_csv,
+)
 from repro.workloads.suite import (
     BENCHMARK_ORDER,
     BENCHMARKS,
@@ -69,7 +89,10 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "BENCHMARKS",
     "BENCHMARK_ORDER",
+    "COMM_OP_POINTS",
     "DESIGN_POINTS",
+    "CommOpProfiler",
+    "CommOpReport",
     "DeadlockError",
     "DesignPoint",
     "ExperimentResult",
@@ -87,22 +110,34 @@ __all__ = [
     "SimulationLimitError",
     "ThreadProgram",
     "ThreadStats",
+    "TraceBuffer",
+    "TraceConfig",
+    "TraceEvent",
     "available_mechanisms",
     "baseline_config",
     "build_partition",
     "build_pipelined",
     "build_single_threaded",
+    "bus_utilization",
+    "check_bus_utilization",
+    "check_occupancy",
     "create_mechanism",
     "geomean",
     "get_design_point",
+    "measure_comm_ops",
+    "occupancy_plateaus",
+    "queue_occupancy",
     "run_all",
     "run_benchmark",
     "run_benchmark_resilient",
     "run_program",
     "run_single_threaded",
     "sweep",
+    "to_chrome_trace",
     "with_bus_latency",
     "with_bus_width",
     "with_queue_depth",
     "with_transit_delay",
+    "write_chrome_trace",
+    "write_csv",
 ]

@@ -53,7 +53,9 @@ class HeavyWeightMechanism(CommMechanism):
         # the consumer's ACK (carried on the dedicated network) arrives.
         gate = ch.producer_must_wait_for(item)
         if gate is not None:
-            yield from self.wait_for_len(core, ch.freed, gate)
+            yield from self.wait_for_len(
+                core, ch.freed, gate, reason="full", queue_id=ch.queue_id
+            )
             free_t = ch.freed[gate]
             if free_t > t:
                 core.stats.queue_full_stall += free_t - t
@@ -81,7 +83,9 @@ class HeavyWeightMechanism(CommMechanism):
         issue = core.issue_comm_slot(inst)
         core.retire(1, overhead=True)
 
-        yield from self.wait_for_len(core, ch.produced, item)
+        yield from self.wait_for_len(
+            core, ch.produced, item, reason="empty", queue_id=ch.queue_id
+        )
         avail = ch.produced[item]
         wait = max(0.0, avail - issue)
         core.stats.queue_empty_stall += wait

@@ -93,17 +93,39 @@ class CommMechanism(abc.ABC):
     # ------------------------------------------------------------------
 
     def wait_for_len(
-        self, core, lst, index: int, deadline: Optional[float] = None
+        self,
+        core,
+        lst,
+        index: int,
+        deadline: Optional[float] = None,
+        reason: str = "",
+        queue_id: Optional[int] = None,
     ) -> Generator:
         """Block ``core`` until ``len(lst) > index`` (or ``deadline`` passes).
 
         Returns ``"ok"`` or ``"timeout"``.  Yields a time heartbeat first so
         the scheduler sees the blocking core's current clock.
+
+        ``reason`` ("full"/"empty"/...) and ``queue_id`` label the optional
+        queue.block / queue.unblock trace events.  Both events carry the
+        blocking core's clock *at the block point* — the simulated wait shows
+        up as the stall the mechanism charges right after resuming.
         """
         if len(lst) > index:
             return "ok"
+        trace = getattr(core, "trace", None)  # tolerate stub cores in tests
+        if trace is not None:
+            trace.emit(
+                "queue.block", core.now, core=core.core_id,
+                queue=queue_id, reason=reason, index=index,
+            )
         yield ("time", core.now)
         status = yield ("block", (lambda: len(lst) > index), deadline)
+        if trace is not None:
+            trace.emit(
+                "queue.unblock", core.now, core=core.core_id,
+                queue=queue_id, reason=reason, status=status,
+            )
         return status
 
     # ------------------------------------------------------------------

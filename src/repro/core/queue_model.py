@@ -165,6 +165,9 @@ class QueueChannel:
     #: Set when an infinite slot stall wedges the channel: no further frees
     #: are ever observed by the producer (forced-deadlock fault scenarios).
     wedged: bool = False
+    #: Optional :class:`~repro.trace.buffer.TraceBuffer` shared with the
+    #: owning machine; ``None`` keeps each record hook to a single branch.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def queue_id(self) -> int:
@@ -193,6 +196,10 @@ class QueueChannel:
         index = len(self.produced)
         self.produced.append(visible_at)
         self.n_produced = max(self.n_produced, index + 1)
+        if self.trace is not None:
+            self.trace.emit(
+                "queue.publish", visible_at, queue=self.queue_id, item=index
+            )
         return index
 
     def record_store_complete(self, at: float) -> int:
@@ -215,9 +222,17 @@ class QueueChannel:
             stall = self.fault_plan.queue_slot_stall(self.queue_id, index, visible_at)
             if math.isinf(stall):
                 self.wedged = True
+                if self.trace is not None:
+                    self.trace.emit(
+                        "queue.wedge", visible_at, queue=self.queue_id, item=index
+                    )
                 return index
             visible_at += stall
         self.freed.append(visible_at)
+        if self.trace is not None:
+            self.trace.emit(
+                "queue.free", visible_at, queue=self.queue_id, item=index
+            )
         return index
 
     def record_freed_bulk(self, count: int, visible_at: float) -> None:
@@ -227,3 +242,7 @@ class QueueChannel:
 
     def record_forward(self, line: int, arrival: float) -> None:
         self.line_forwarded[line] = arrival
+        if self.trace is not None:
+            self.trace.emit(
+                "queue.forward", arrival, queue=self.queue_id, line=line
+            )

@@ -56,10 +56,19 @@ class SoftwareQueueMechanism(CommMechanism):
         """Spin on the flag at ``flag_addr`` until it reads updated."""
         core.spin_wait(visible_at, first.breakdown)
         # The observing (final) spin iteration: its in-flight refetch brings
-        # the whole line (flag + co-located data) into this L2.
-        self.machine.mem.observe_update(core.core_id, flag_addr, visible_at)
+        # the whole line (flag + co-located data) into this L2 — unless a
+        # write-forward already delivered the line, in which case the spin
+        # load observes the local (possibly in-flight) fill and no snoop
+        # round crosses the bus (MEMOPTI's consumer-side win, §3.5.1).
+        mem = self.machine.mem
+        local = mem.holds_line(core.core_id, flag_addr)
+        arrival = mem.observe_update(core.core_id, flag_addr, visible_at)
         core.retire(1, overhead=True)
-        core.stall_until(visible_at + self._observe_flag_delay(), first.breakdown)
+        if local:
+            observed = max(arrival, visible_at) + self.machine.config.l2.latency
+        else:
+            observed = visible_at + self._observe_flag_delay()
+        core.stall_until(observed, first.breakdown)
 
     # ------------------------------------------------------------------
 
@@ -75,7 +84,9 @@ class SoftwareQueueMechanism(CommMechanism):
         core.overhead_alu(self.SYNC_ALU_OPS, dep_height=2)
         gate = ch.producer_must_wait_for(item)
         if gate is not None:
-            yield from self.wait_for_len(core, ch.freed, gate)
+            yield from self.wait_for_len(
+                core, ch.freed, gate, reason="full", queue_id=ch.queue_id
+            )
             free_t = ch.freed[gate]
             if free_t > first.complete:
                 core.stats.queue_full_stall += free_t - max(core.now, first.complete)
@@ -123,7 +134,9 @@ class SoftwareQueueMechanism(CommMechanism):
         flag = layout.flag_addr(item)
         first = core.overhead_load(flag)
         core.overhead_alu(self.SYNC_ALU_OPS, dep_height=2)
-        yield from self.wait_for_len(core, ch.produced, item)
+        yield from self.wait_for_len(
+            core, ch.produced, item, reason="empty", queue_id=ch.queue_id
+        )
         avail = ch.produced[item]
         if avail > first.complete:
             core.stats.queue_empty_stall += avail - max(core.now, first.complete)

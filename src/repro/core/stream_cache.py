@@ -112,7 +112,8 @@ class StreamCacheMechanism(SyncOptiMechanism):
         else:
             deadline = t_sync + cfg.syncopti.partial_line_timeout
             status = yield from self.wait_for_len(
-                core, ch.produced, item, deadline=deadline
+                core, ch.produced, item, deadline=deadline,
+                reason="empty", queue_id=ch.queue_id,
             )
         if status == "ok":
             arrival = sc.lookup(ch.queue_id, layout.slot_of(item), t_sync)
@@ -152,7 +153,10 @@ class StreamCacheMechanism(SyncOptiMechanism):
             mix.prel2 += int(wait)
             mix.total += int(wait)
             return res.complete, mix
-        yield from self.wait_for_len(core, ch.store_complete, item)
+        yield from self.wait_for_len(
+            core, ch.store_complete, item,
+            reason="partial-line", queue_id=ch.queue_id,
+        )
         stored = ch.store_complete[item]
         t0 = max(t_sync + cfg.syncopti.partial_line_timeout, stored)
         core.stats.queue_empty_stall += t0 - t_sync

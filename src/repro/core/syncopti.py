@@ -63,7 +63,9 @@ class SyncOptiMechanism(CommMechanism):
         # sits dormant in the OzQ until a counter update frees a line.
         gate = ch.producer_must_wait_for(item)
         if gate is not None:
-            yield from self.wait_for_len(core, ch.freed, gate)
+            yield from self.wait_for_len(
+                core, ch.freed, gate, reason="full", queue_id=ch.queue_id
+            )
             free_t = ch.freed[gate]
             if free_t > t:
                 core.stats.queue_full_stall += free_t - t
@@ -150,7 +152,8 @@ class SyncOptiMechanism(CommMechanism):
         else:
             deadline = t_sync + cfg.syncopti.partial_line_timeout
             status = yield from self.wait_for_len(
-                core, ch.produced, item, deadline=deadline
+                core, ch.produced, item, deadline=deadline,
+                reason="empty", queue_id=ch.queue_id,
             )
         if status == "ok":
             avail = ch.produced[item]
@@ -164,7 +167,10 @@ class SyncOptiMechanism(CommMechanism):
             mix.total += int(wait)
             return res.complete, mix
         # Timeout: elicit a writeback of the partial line from the producer.
-        yield from self.wait_for_len(core, ch.store_complete, item)
+        yield from self.wait_for_len(
+            core, ch.store_complete, item,
+            reason="partial-line", queue_id=ch.queue_id,
+        )
         stored = ch.store_complete[item]
         t0 = max(t_sync + cfg.syncopti.partial_line_timeout, stored)
         core.stats.queue_empty_stall += t0 - t_sync

@@ -133,6 +133,9 @@ class FaultPlan:
         self.rules: Tuple[FaultRule, ...] = tuple(rules)
         self._event_counts: List[int] = [0] * len(self.rules)
         self.injections: List[FaultInjection] = []
+        #: Optional trace sink, set by the owning Machine at construction;
+        #: injections then also land in the event trace as ``fault.inject``.
+        self.trace = None
 
     # ------------------------------------------------------------------
 
@@ -192,7 +195,7 @@ class FaultPlan:
                 continue
             delay = rng.uniform(0.0, rule.magnitude) if uniform else rule.magnitude
             total += delay
-            self.injections.append(
+            self._record(
                 FaultInjection(
                     kind=kind.value,
                     at=at,
@@ -203,6 +206,19 @@ class FaultPlan:
                 )
             )
         return total
+
+    def _record(self, inj: FaultInjection) -> None:
+        """Log one injection (and mirror it into the trace, if any)."""
+        self.injections.append(inj)
+        if self.trace is not None:
+            self.trace.emit(
+                "fault.inject",
+                inj.at,
+                core=inj.core_id,
+                queue=inj.queue_id,
+                fault=inj.kind,
+                delay=inj.delay,
+            )
 
     # ------------------------------------------------------------------
     # Hook-point queries (called by the memory system / bus / channels)
@@ -227,7 +243,7 @@ class FaultPlan:
             fired, _ = self._fires(index, rule)
             if fired:
                 dropped = True
-                self.injections.append(
+                self._record(
                     FaultInjection(
                         kind=FaultKind.FORWARD_DROP.value,
                         at=at,

@@ -37,7 +37,20 @@ def normalized_series(
 
 
 def with_geomean(series: Mapping[str, float]) -> Dict[str, float]:
-    """Append the paper's GeoMean summary entry."""
+    """Append the paper's GeoMean summary entry.
+
+    Raises :class:`ValueError` naming the problem when the series is empty
+    or contains non-positive entries, instead of letting :func:`geomean`
+    fail with a message that cannot say *which* labels are bad.
+    """
+    if not series:
+        raise ValueError("with_geomean: empty series has no geometric mean")
+    bad = sorted(k for k, v in series.items() if v <= 0)
+    if bad:
+        raise ValueError(
+            f"with_geomean: non-positive values for {bad}; "
+            "normalize against a positive baseline first"
+        )
     out = dict(series)
     out["GeoMean"] = geomean(series.values())
     return out

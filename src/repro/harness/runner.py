@@ -24,6 +24,11 @@ from repro.sim.cosim import SimulationError
 from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine
 from repro.sim.stats import RunStats, ThreadStats
+from repro.trace.buffer import TraceBuffer, TraceConfig
+
+#: The ``trace`` knob accepted by the run entry points: ``None``/``False``
+#: (off), ``True`` (trace with defaults), or a full :class:`TraceConfig`.
+TraceKnob = Union[None, bool, TraceConfig]
 from repro.workloads.suite import (
     benchmark_info,
     build_pipelined,
@@ -44,6 +49,9 @@ class RunResult:
     cycles: int
     stats: RunStats
     machine: Optional[Machine] = field(repr=False, default=None)
+    #: The run's :class:`~repro.trace.buffer.TraceBuffer` when tracing was
+    #: requested (via the ``trace=`` knob or ``config.trace``), else ``None``.
+    trace: Optional[TraceBuffer] = field(repr=False, default=None)
 
     @property
     def ok(self) -> bool:
@@ -95,11 +103,20 @@ class FailedRun:
 RunOutcome = Union[RunResult, FailedRun]
 
 
+def _apply_trace(cfg: MachineConfig, trace: TraceKnob) -> MachineConfig:
+    """Resolve the ``trace`` knob into a config (copied if it changes)."""
+    if trace is None or trace is False:
+        return cfg
+    tc = TraceConfig() if trace is True else trace
+    return cfg.copy(trace=tc)
+
+
 def run_benchmark(
     benchmark: str,
     design_point: str,
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
+    trace: TraceKnob = None,
 ) -> RunResult:
     """Run one benchmark on one design point.
 
@@ -114,6 +131,10 @@ def run_benchmark(
             :meth:`DesignPoint.validate_config` and a mismatch (e.g. a
             stream-cache config under plain SYNCOPTI) raises
             :class:`~repro.core.design_points.DesignPointConfigError`.
+        trace: ``True`` to record an event trace with default settings, a
+            :class:`TraceConfig` for capacity/category control, or ``None``
+            to leave tracing off (or governed by ``config.trace``).  The
+            recorded buffer is returned as ``RunResult.trace``.
     """
     point = get_design_point(design_point)
     benchmark_info(benchmark)  # validate the name early
@@ -122,6 +143,7 @@ def run_benchmark(
         cfg = config
     else:
         cfg = point.build_config()
+    cfg = _apply_trace(cfg, trace)
     program = build_pipelined(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
     stats = machine.run(program)
@@ -131,6 +153,7 @@ def run_benchmark(
         cycles=stats.cycles,
         stats=stats,
         machine=machine,
+        trace=machine.trace,
     )
 
 
@@ -139,6 +162,7 @@ def run_benchmark_resilient(
     design_point: str,
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
+    trace: TraceKnob = None,
 ) -> RunOutcome:
     """Like :func:`run_benchmark`, but a failing simulation becomes data.
 
@@ -147,7 +171,9 @@ def run_benchmark_resilient(
     silently skipping those would hide bugs, not hardware behavior.
     """
     try:
-        return run_benchmark(benchmark, design_point, trip_count, config=config)
+        return run_benchmark(
+            benchmark, design_point, trip_count, config=config, trace=trace
+        )
     except SimulationError as exc:
         return FailedRun(
             benchmark=benchmark,
@@ -162,10 +188,12 @@ def run_single_threaded(
     benchmark: str,
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
+    trace: TraceKnob = None,
 ) -> RunResult:
     """Run the original (unpartitioned) loop on one core."""
     point = get_design_point("HEAVYWT")  # mechanism is unused without queues
     cfg = config if config is not None else point.build_config()
+    cfg = _apply_trace(cfg, trace)
     program = build_single_threaded(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
     stats = machine.run(program)
@@ -175,4 +203,5 @@ def run_single_threaded(
         cycles=stats.cycles,
         stats=stats,
         machine=machine,
+        trace=machine.trace,
     )

@@ -62,12 +62,19 @@ class SharedBus:
     #: Payload size used for address-only / control messages (occupies one beat).
     CONTROL_BYTES = 8
 
-    def __init__(self, config: BusConfig, faults: Optional[FaultPlan] = None) -> None:
+    def __init__(
+        self,
+        config: BusConfig,
+        faults: Optional[FaultPlan] = None,
+        trace=None,
+    ) -> None:
         config.validate()
         self.config = config
         #: Optional fault plan adding arbitration-request jitter (robustness
         #: studies); the bus model itself stays fault-oblivious beyond this.
         self.faults = faults
+        #: Optional trace sink; ``None`` keeps ``transfer`` to one branch.
+        self.trace = trace
         # Busy intervals (start, end), kept sorted by start.  A split-
         # transaction bus interleaves unrelated transactions between the
         # address and data phases of an outstanding miss, so a transfer
@@ -94,11 +101,25 @@ class SharedBus:
         beats = self.config.transfer_bus_cycles(payload_bytes)
         return (self.config.stages + beats - 1) * self.beat_cycles
 
-    def transfer(self, at: float, payload_bytes: int, requester: int = 0) -> BusTransaction:
+    def transfer(
+        self,
+        at: float,
+        payload_bytes: int,
+        requester: int = 0,
+        background: bool = False,
+    ) -> BusTransaction:
         """Arbitrate for the bus at time ``at`` and move ``payload_bytes``.
 
         Returns the grant/done times.  The caller charges the observed wait
         and transfer time to its BUS component.
+
+        ``background`` marks a low-priority push (a producer-initiated
+        write-forward riding the writeback path).  It queues behind demand
+        traffic for its own grant, but consumes only idle bandwidth: no busy
+        interval is reserved, so demand transactions never wait behind it.
+        The push's cost to its *source* (OzQ entry held, ports churned while
+        it waits for the grant) is unaffected — that port-side contention,
+        not bus hogging, is what Section 4.4 blames for MEMOPTI's anomaly.
         """
         if payload_bytes < 0:
             raise ValueError("payload must be non-negative")
@@ -113,15 +134,28 @@ class SharedBus:
             hold = self.occupancy_cycles(payload_bytes)
         else:
             hold = end_to_end
-        grant = self._reserve(at, hold)
+        grant = self._reserve(at, hold, reserve=not background)
         done = grant + end_to_end
         self.transactions += 1
         self.busy_cycles += hold
         self.grants_by_requester[requester] = self.grants_by_requester.get(requester, 0) + 1
+        if self.trace is not None:
+            self.trace.emit(
+                "bus.grant",
+                grant,
+                core=requester,
+                dur=hold,
+                payload=payload_bytes,
+                wait=grant - requested,
+            )
         return BusTransaction(request_time=requested, grant_time=grant, done_time=done)
 
-    def _reserve(self, at: float, hold: float) -> float:
-        """First-fit gap allocation of ``hold`` cycles starting at ``at``."""
+    def _reserve(self, at: float, hold: float, reserve: bool = True) -> float:
+        """First-fit gap allocation of ``hold`` cycles starting at ``at``.
+
+        With ``reserve=False`` the gap is found but not claimed (background
+        transfers use idle bandwidth without delaying demand traffic).
+        """
         busy = self._busy
         # Prune intervals that can no longer affect any request.  The
         # co-simulator bounds how far back in time requests may arrive, so
@@ -140,7 +174,8 @@ class SharedBus:
         while i < n and busy[i][0] < t + hold:
             t = max(t, busy[i][1])
             i += 1
-        busy.insert(i, (t, t + hold))
+        if reserve:
+            busy.insert(i, (t, t + hold))
         return t
 
     def control_message(self, at: float, requester: int = 0) -> BusTransaction:

@@ -66,7 +66,7 @@ class AccessResult:
 class MemorySystem:
     """Snoop-coherent two-level private + shared-L3 memory system."""
 
-    def __init__(self, config: MachineConfig) -> None:
+    def __init__(self, config: MachineConfig, trace=None) -> None:
         config.validate()
         self.config = config
         self.n_cores = config.n_cores
@@ -80,7 +80,10 @@ class MemorySystem:
         #: The shared fault plan (None = happy path); hooks below and in the
         #: bus consult it so the mechanisms themselves stay fault-oblivious.
         self.faults = config.faults
-        self.bus = SharedBus(config.bus, faults=config.faults)
+        #: Optional trace sink shared with the owning machine; ``None`` keeps
+        #: every hierarchy hook to a single branch (zero-overhead contract).
+        self.trace = trace
+        self.bus = SharedBus(config.bus, faults=config.faults, trace=trace)
         self.ozq: List[OzQ] = [
             OzQ(config.ozq_depth, config.l2_ports, config.recirculation_interval)
             for _ in range(self.n_cores)
@@ -151,6 +154,10 @@ class MemorySystem:
             if fill_l1:
                 self.l1d[core].install(self.l1d[core].line_addr(addr), LineState.SHARED)
             total = ready - at
+            if self.trace is not None:
+                self.trace.emit(
+                    "mem.access", at, core=core, dur=total, addr=addr, level="L2", op="load"
+                )
             return AccessResult(
                 complete=ready,
                 breakdown=LatencyBreakdown(
@@ -172,6 +179,10 @@ class MemorySystem:
         bd.l2 += int(self.config.l2.latency + port_wait)
         bd.prel2 += int(prel2_wait)
         bd.total = int(complete - at)
+        if self.trace is not None:
+            self.trace.emit(
+                "mem.access", at, core=core, dur=complete - at, addr=addr, level=level, op="load"
+            )
         return AccessResult(complete=complete, breakdown=bd, level=level, prel2_wait=prel2_wait)
 
     # ------------------------------------------------------------------
@@ -197,6 +208,10 @@ class MemorySystem:
             cached.streaming = cached.streaming or streaming
             complete = max(port + self.config.l2.latency, cached.ready_at)
             self._l1_write_update(core, addr)
+            if self.trace is not None:
+                self.trace.emit(
+                    "mem.access", at, core=core, dur=complete - at, addr=addr, level="L2", op="store"
+                )
             return AccessResult(
                 complete=complete,
                 breakdown=LatencyBreakdown(
@@ -213,6 +228,11 @@ class MemorySystem:
             cached.streaming = cached.streaming or streaming
             complete = tx.done_time
             self._l1_write_update(core, addr)
+            if self.trace is not None:
+                self.trace.emit(
+                    "mem.access", at, core=core, dur=complete - at,
+                    addr=addr, level="upgrade", op="store",
+                )
             return AccessResult(
                 complete=complete,
                 breakdown=LatencyBreakdown(
@@ -234,6 +254,10 @@ class MemorySystem:
         bd.l2 += int(self.config.l2.latency + port_wait)
         bd.prel2 += int(prel2_wait)
         bd.total = int(complete - at)
+        if self.trace is not None:
+            self.trace.emit(
+                "mem.access", at, core=core, dur=complete - at, addr=addr, level=level, op="store"
+            )
         return AccessResult(
             complete=complete,
             breakdown=bd,
@@ -399,7 +423,12 @@ class MemorySystem:
         entry = ozq.begin_entry(at)
         port = ozq.acquire_port(entry, busy=1.0)
         ready = port + self.config.l2.latency
-        tx = self.bus.transfer(ready, self.config.l2.line_bytes, requester=src)
+        # The push rides the writeback path: low bus priority, so it fills
+        # idle bandwidth instead of stalling demand traffic — the cost that
+        # matters is source-side (OzQ entry + port churn below).
+        tx = self.bus.transfer(
+            ready, self.config.l2.line_bytes, requester=src, background=True
+        )
         if contend_ports and tx.grant_time > ready:
             ozq.recirculate(ready, tx.grant_time)
         arrival = tx.done_time
@@ -410,6 +439,11 @@ class MemorySystem:
             )
             if dropped:
                 self.dropped_forwards += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "fwd.drop", at, core=src,
+                        queue=queue_of_addr(addr), dst=dst, line=line,
+                    )
                 return None
             arrival += delay
         src_line = self.l2[src].probe(line)
@@ -422,7 +456,22 @@ class MemorySystem:
         state = LineState.EXCLUSIVE if release_src else LineState.SHARED
         victim = self.l2[dst].install(line, state, ready_at=arrival, streaming=True)
         self._handle_victim(dst, victim, arrival)
+        if self.trace is not None:
+            self.trace.emit(
+                "fwd.line", arrival, core=src,
+                queue=queue_of_addr(addr), dst=dst, line=line,
+            )
         return arrival
+
+    def holds_line(self, core: int, addr: int) -> bool:
+        """Whether ``core``'s L2 has a valid copy of ``addr``'s line.
+
+        Used by the software-queue spin path: a consumer whose L2 already
+        holds the line (a write-forward delivered it) observes the flag from
+        the local copy instead of demand-refetching across the bus.
+        """
+        cached = self.l2[core].probe(self.l2_line(addr))
+        return cached is not None and cached.state is not LineState.INVALID
 
     def observe_update(self, core: int, addr: int, at: float) -> float:
         """A spinning core observes a remote write to ``addr``'s line.
@@ -432,8 +481,18 @@ class MemorySystem:
         line transfer installing the line SHARED at the spinner.  Returns the
         line-arrival time (the flag *value* is observable earlier, via the
         snoop round the caller charges separately).
+
+        If the spinner's L2 already holds a valid copy of the line — a
+        write-forward delivered it (§3.5.1) — no demand transfer crosses the
+        bus: the update is observed once the (possibly in-flight) local fill
+        lands.  This is MEMOPTI's stated consumer-side benefit; without it
+        every forward would pay its push *and* a redundant refetch.
         """
         line = self.l2_line(addr)
+        cached = self.l2[core].probe(line)
+        if cached is not None and cached.state is not LineState.INVALID:
+            cached.streaming = True
+            return max(at, cached.ready_at)
         tx = self.bus.transfer(at, self.config.l2.line_bytes, requester=core)
         owner = self._find_remote_owner(core, line)
         if owner is not None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.faults.plan import FaultPlan
+from repro.trace.buffer import TraceConfig
 
 
 @dataclass
@@ -208,6 +209,11 @@ class MachineConfig:
     #: by reference across ``copy()``; each ``Machine`` resets it at
     #: construction so reuse across grid cells stays deterministic.
     faults: Optional[FaultPlan] = None
+    #: Optional event-tracing knob, threaded exactly like ``faults``:
+    #: ``None`` (the default) means no :class:`~repro.trace.buffer.TraceBuffer`
+    #: is ever constructed and every instrumentation site reduces to a single
+    #: ``is None`` branch — the zero-overhead contract.
+    trace: Optional[TraceConfig] = None
 
     def validate(self) -> "MachineConfig":
         """Check invariants; returns self so it chains after construction."""
@@ -230,6 +236,8 @@ class MachineConfig:
             raise ValueError("L2 and L3 line sizes must match in this model")
         if self.faults is not None:
             self.faults.validate()
+        if self.trace is not None:
+            self.trace.validate()
         return self
 
     def copy(self, **overrides) -> "MachineConfig":
@@ -245,6 +253,9 @@ class MachineConfig:
             stream_cache=dataclasses.replace(self.stream_cache),
             dedicated=dataclasses.replace(self.dedicated),
             syncopti=dataclasses.replace(self.syncopti),
+            trace=(
+                dataclasses.replace(self.trace) if self.trace is not None else None
+            ),
         )
         for key, value in overrides.items():
             if not hasattr(dup, key):

@@ -89,6 +89,9 @@ class CoreModel:
         #: Latest completion of any instruction (drain horizon).
         self.horizon = 0.0
         self.instructions_run = 0
+        #: Trace sink shared with the machine (``None`` = tracing off; every
+        #: core hook is then a single ``is None`` branch).
+        self.trace = machine.trace
 
     # ------------------------------------------------------------------
     # Public helpers used by communication mechanisms
@@ -125,6 +128,11 @@ class CoreModel:
         else:
             self.stats.app_instructions += n
         self.charge("PostL2", n * self._commit_cost)
+        if self.trace is not None:
+            self.trace.emit(
+                "core.retire", self.t_issue, core=self.core_id,
+                n=n, overhead=overhead,
+            )
 
     def overhead_alu(self, n: int, dep_height: int = 1) -> float:
         """Issue ``n`` overhead ALU/branch ops with the given chain height.
@@ -316,14 +324,62 @@ class CoreModel:
         self.retire(1, overhead=overhead)
 
     def _comm(self, inst: DynInst) -> Generator:
-        """Dispatch a PRODUCE/CONSUME macro-op to the mechanism."""
+        """Dispatch a PRODUCE/CONSUME macro-op to the mechanism.
+
+        When tracing, the whole macro-op is bracketed so the COMM-OP
+        profiler can recover its issue-clock span (``dur``), the queue
+        full/empty blocking inside that span (``stall``), and the
+        per-component attribution deltas — everything needed to compute the
+        paper's COMM-OP delay without touching the mechanisms themselves.
+        """
         mech = self.machine.mechanism
+        if self.trace is None:
+            if inst.kind is InstrKind.PRODUCE:
+                self.stats.produces += 1
+                yield from mech.produce(self, inst)
+            else:
+                self.stats.consumes += 1
+                yield from mech.consume(self, inst)
+            return
+        t0 = self.t_issue
+        comp0 = dict(self.stats.components)
+        stall0 = self.stats.queue_full_stall + self.stats.queue_empty_stall
         if inst.kind is InstrKind.PRODUCE:
             self.stats.produces += 1
+            kind = "comm.produce"
             yield from mech.produce(self, inst)
         else:
             self.stats.consumes += 1
+            kind = "comm.consume"
             yield from mech.consume(self, inst)
+        comps = self.stats.components
+        deltas = {
+            name.lower(): comps[name] - comp0[name]
+            for name in comps
+            if comps[name] > comp0[name]
+        }
+        stall = (
+            self.stats.queue_full_stall + self.stats.queue_empty_stall - stall0
+        )
+        # Operand-feed exposure: a produce cannot complete before the app
+        # dataflow delivers the value being sent.  That wait is application
+        # time (identical across design points), not operation cost — the
+        # profiler subtracts it from COMM-OP delay.
+        feed = 0.0
+        if inst.srcs:
+            feed = max(
+                0.0, min(self.scoreboard.ready(inst.srcs), self.t_issue) - t0
+            )
+        self.trace.emit(
+            kind,
+            t0,
+            core=self.core_id,
+            queue=inst.queue,
+            dur=self.t_issue - t0,
+            stall=stall,
+            feed=feed,
+            **deltas,
+        )
 
     def _finish(self) -> None:
         """Drain: the thread ends when its last effect completes."""

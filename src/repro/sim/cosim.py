@@ -37,7 +37,9 @@ from typing import Callable, Generator, List, Optional, Sequence, Tuple
 from repro.sim.forensics import ChannelDump, CoreDump, PostMortem
 
 #: Signature of the optional machine-context probe: returns (channel
-#: snapshots, fault-injection records) for post-mortem construction.
+#: snapshots, fault-injection records[, per-core trace tail]) for
+#: post-mortem construction — the third element is optional so probes
+#: written before the tracing subsystem keep working.
 ContextProbe = Callable[[], Tuple[Sequence[ChannelDump], Sequence[object]]]
 
 
@@ -88,6 +90,7 @@ class Scheduler:
         generators,
         max_steps: int = 50_000_000,
         context_probe: Optional[ContextProbe] = None,
+        trace=None,
     ) -> None:
         self.runners: List[CoreRunner] = [
             CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
@@ -95,6 +98,9 @@ class Scheduler:
         self.max_steps = max_steps
         self.total_steps = 0
         self.context_probe = context_probe
+        #: Optional :class:`~repro.trace.buffer.TraceBuffer`; ``None`` keeps
+        #: every scheduler hook to a single branch (zero-overhead contract).
+        self.trace = trace
 
     def run(self) -> None:
         """Drive all cores to completion."""
@@ -142,6 +148,10 @@ class Scheduler:
         runner.resume_value = value
         runner.predicate = None
         runner.deadline = None
+        if self.trace is not None:
+            self.trace.emit(
+                "sched.resume", runner.time, core=runner.core_id, status=value
+            )
 
     def _fire_timeout(self) -> bool:
         """With everyone blocked, fire the earliest deadline, if any.
@@ -178,16 +188,20 @@ class Scheduler:
         ]
         channels: List[ChannelDump] = []
         injections: List[object] = []
+        trace_tail: dict = {}
         if self.context_probe is not None:
-            probed_channels, probed_injections = self.context_probe()
-            channels = list(probed_channels)
-            injections = list(probed_injections)
+            probed = self.context_probe()
+            channels = list(probed[0])
+            injections = list(probed[1])
+            if len(probed) > 2:  # older two-tuple probes stay supported
+                trace_tail = dict(probed[2])
         return PostMortem(
             reason=reason,
             total_steps=self.total_steps,
             cores=cores,
             channels=channels,
             injections=injections,
+            trace_tail=trace_tail,
         )
 
     def _raise_deadlock(self) -> None:
@@ -221,6 +235,8 @@ class Scheduler:
         except StopIteration:
             runner.state = _State.DONE
             runner.last_progress_time = runner.time
+            if self.trace is not None:
+                self.trace.emit("sched.done", runner.time, core=runner.core_id)
             return
         finally:
             runner.resume_value = None
@@ -238,5 +254,12 @@ class Scheduler:
                 runner.state = _State.BLOCKED
                 runner.predicate = predicate
                 runner.deadline = deadline
+                if self.trace is not None:
+                    self.trace.emit(
+                        "sched.block",
+                        runner.time,
+                        core=runner.core_id,
+                        deadline=deadline,
+                    )
         else:
             raise ValueError(f"core {runner.core_id} yielded unknown message {msg!r}")

@@ -18,7 +18,7 @@ a context probe, so ``cosim`` stays decoupled from queues and faults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -125,6 +125,9 @@ class PostMortem:
     channels: List[ChannelDump] = field(default_factory=list)
     #: FaultInjection records applied during the run (if a plan was active).
     injections: List[object] = field(default_factory=list)
+    #: Last trace events per core (``None`` key = global events), when the
+    #: run was traced: the actual event sequence leading up to the wedge.
+    trace_tail: Dict[Optional[int], List[object]] = field(default_factory=dict)
 
     def blocked_cores(self) -> List[int]:
         return [c.core_id for c in self.cores if c.state == "blocked"]
@@ -148,6 +151,16 @@ class PostMortem:
                 lines.append("    " + desc)
             if len(self.injections) > 8:
                 lines.append(f"    ... and {len(self.injections) - 8} earlier")
+        if self.trace_tail:
+            lines.append("  last trace events per core:")
+            for core in sorted(
+                self.trace_tail, key=lambda c: (c is None, c)
+            ):
+                label = "global" if core is None else f"core {core}"
+                lines.append(f"    {label}:")
+                for ev in self.trace_tail[core]:
+                    desc = ev.describe() if hasattr(ev, "describe") else repr(ev)
+                    lines.append("      " + desc)
         return "\n".join(lines)
 
 

@@ -33,6 +33,10 @@ from repro.sim.cosim import Scheduler
 from repro.sim.forensics import dump_channel
 from repro.sim.program import Program
 from repro.sim.stats import RunStats
+from repro.trace.buffer import TraceBuffer
+
+#: Events attached per core to deadlock/step-limit post-mortems.
+POST_MORTEM_TRACE_TAIL = 8
 
 
 class Machine:
@@ -46,7 +50,16 @@ class Machine:
         self.faults = config.faults
         if self.faults is not None:
             self.faults.reset()
-        self.mem = MemorySystem(config)
+        #: Trace sink shared with every instrumented component, or ``None``
+        #: when tracing is off — each hook is then one ``is None`` branch.
+        self.trace = (
+            TraceBuffer(config.trace)
+            if config.trace is not None and config.trace.enabled
+            else None
+        )
+        if self.faults is not None:
+            self.faults.trace = self.trace
+        self.mem = MemorySystem(config, trace=self.trace)
         self.mechanism = create_mechanism(mechanism, self)
         self.mem.on_streaming_eviction = self.mechanism.on_streaming_eviction
         self.cores = [CoreModel(i, self) for i in range(config.n_cores)]
@@ -63,18 +76,25 @@ class Machine:
                     f"{self.config.queues.n_queues} queues"
                 )
             ch = QueueChannel(
-                layout=self.mechanism.layout_for(queue_id), fault_plan=self.faults
+                layout=self.mechanism.layout_for(queue_id),
+                fault_plan=self.faults,
+                trace=self.trace,
             )
             self.channels[queue_id] = ch
         return ch
 
     def _forensics_probe(self):
-        """Channel snapshots + fault log for scheduler post-mortems."""
+        """Channel snapshots + fault log + trace tail for post-mortems."""
         channels = [
             dump_channel(self.channels[qid]) for qid in sorted(self.channels)
         ]
         injections = list(self.faults.injections) if self.faults is not None else []
-        return channels, injections
+        trace_tail = (
+            self.trace.tail_by_core(POST_MORTEM_TRACE_TAIL)
+            if self.trace is not None
+            else {}
+        )
+        return channels, injections, trace_tail
 
     def run(self, program: Program, max_steps: int = 50_000_000) -> RunStats:
         """Co-simulate ``program`` to completion; returns per-thread stats."""
@@ -97,7 +117,10 @@ class Machine:
             for i, thread in enumerate(program.threads)
         ]
         Scheduler(
-            generators, max_steps=max_steps, context_probe=self._forensics_probe
+            generators,
+            max_steps=max_steps,
+            context_probe=self._forensics_probe,
+            trace=self.trace,
         ).run()
         return RunStats(
             threads=[self.cores[i].stats for i in range(program.n_threads)]

@@ -69,18 +69,22 @@ class LatencyBreakdown:
         Used when only part of an access's latency is exposed on the critical
         path (the rest overlapped with other work): the exposure keeps the
         access's component *mix* but the exposed magnitude.
+
+        Components are allocated sequentially against a running remainder so
+        per-component rounding can never push their sum above ``cycles`` —
+        independent ``round()`` calls could each round up and overshoot,
+        which used to leak negative residuals into the caller.
         """
         if cycles <= 0 or self.total <= 0:
             return LatencyBreakdown()
         f = min(1.0, cycles / self.total)
-        return LatencyBreakdown(
-            total=cycles,
-            l2=int(round(self.l2 * f)),
-            bus=int(round(self.bus * f)),
-            l3=int(round(self.l3 * f)),
-            mem=int(round(self.mem * f)),
-            prel2=int(round(self.prel2 * f)),
-        )
+        out = LatencyBreakdown(total=cycles)
+        remaining = cycles
+        for name in ("l2", "bus", "l3", "mem", "prel2"):
+            share = min(remaining, int(round(getattr(self, name) * f)))
+            setattr(out, name, share)
+            remaining -= share
+        return out
 
 
 @dataclass
@@ -125,17 +129,24 @@ class ThreadStats:
         self.components[component] += cycles
 
     def charge_breakdown(self, bd: LatencyBreakdown, exposed: float) -> None:
-        """Attribute an exposed memory latency using the access's mix."""
+        """Attribute an exposed memory latency using the access's mix.
+
+        Exactly ``exposed`` cycles are charged in total: the named components
+        receive at most ``int(exposed)`` cycles (``scaled_to`` caps their
+        sum), and the residual — fractional cycles plus anything the mix does
+        not cover — lands in COMPUTE with no clamping.  Rounding can shift a
+        cycle between components but never create or destroy one.
+        """
         if exposed <= 0:
             return
-        scaled = bd.scaled_to(int(round(exposed)))
+        scaled = bd.scaled_to(int(exposed))
         self.charge("L2", scaled.l2)
         self.charge("BUS", scaled.bus)
         self.charge("L3", scaled.l3)
         self.charge("MEM", scaled.mem)
         self.charge("PreL2", scaled.prel2)
         named = scaled.l2 + scaled.bus + scaled.l3 + scaled.mem + scaled.prel2
-        self.charge("COMPUTE", max(0.0, exposed - named))
+        self.charge("COMPUTE", exposed - named)
 
     @property
     def total_instructions(self) -> int:

@@ -1,0 +1,65 @@
+"""repro.trace — cycle-level event tracing, timelines, and a COMM-OP profiler.
+
+The observability layer of the reproduction: a bounded ring-buffer
+:class:`TraceBuffer` fed by instrumentation hooks throughout the scheduler,
+cores, queue channels, memory hierarchy, bus, and fault plan — keyed by
+``MachineConfig.trace`` with zero overhead when disabled — plus exporters
+(Chrome-trace/Perfetto JSON, CSV), derived timelines (per-channel queue
+occupancy, bus-utilization windows) with invariant checkers, and the
+:class:`CommOpProfiler` that measures the paper's COMM-OP delay per design
+point.
+
+Quickstart::
+
+    from repro import run_benchmark, write_chrome_trace
+
+    result = run_benchmark("wc", "SYNCOPTI", trip_count=200, trace=True)
+    write_chrome_trace(result.trace, "wc_syncopti.trace.json")
+    # load the file in chrome://tracing or https://ui.perfetto.dev
+"""
+
+from repro.trace.buffer import NULL_TRACE, TraceBuffer, TraceConfig
+from repro.trace.events import CATEGORIES, TraceEvent, category_of
+from repro.trace.export import to_chrome_trace, write_chrome_trace, write_csv
+from repro.trace.profiler import (
+    COMM_OP_POINTS,
+    CommOpProfiler,
+    CommOpReport,
+    CommOpStats,
+    measure_comm_ops,
+)
+from repro.trace.timeline import (
+    OccupancyViolation,
+    TraceIncompleteError,
+    UtilizationWindow,
+    bus_utilization,
+    check_bus_utilization,
+    check_occupancy,
+    occupancy_plateaus,
+    queue_occupancy,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "COMM_OP_POINTS",
+    "CommOpProfiler",
+    "CommOpReport",
+    "CommOpStats",
+    "NULL_TRACE",
+    "OccupancyViolation",
+    "TraceBuffer",
+    "TraceConfig",
+    "TraceEvent",
+    "TraceIncompleteError",
+    "UtilizationWindow",
+    "bus_utilization",
+    "category_of",
+    "check_bus_utilization",
+    "check_occupancy",
+    "measure_comm_ops",
+    "occupancy_plateaus",
+    "queue_occupancy",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_csv",
+]

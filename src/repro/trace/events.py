@@ -1,0 +1,101 @@
+"""Typed trace events and the event taxonomy of the tracing subsystem.
+
+Every instrumentation hook in the simulator emits one :class:`TraceEvent`.
+Event *kinds* are dotted strings; the prefix before the first dot is the
+event's **category**, which is what :class:`~repro.trace.buffer.TraceConfig`
+filters on.  The taxonomy (see DESIGN.md §7 for prose):
+
+===============  ====================================================
+kind             meaning
+===============  ====================================================
+core.retire      ``n`` instructions committed (``overhead`` flags comm ops)
+comm.produce     one PRODUCE macro-op, ``ts``..``ts+dur`` on the issue clock
+comm.consume     one CONSUME macro-op, same span semantics
+queue.publish    item ``item`` became consumer-visible on queue ``queue``
+queue.free       slot of item ``item`` became producer-visible again
+queue.wedge      a fault permanently stalled slot recycling on ``queue``
+queue.forward    backing line ``line`` of ``queue`` arrived at the consumer
+queue.block      a core began waiting on queue state (``reason``)
+queue.unblock    that wait resolved (``status``: ok / timeout)
+bus.grant        a shared-bus grant; ``dur`` is the occupancy hold
+mem.access       an L1-missing memory access; ``level`` names the hit level
+fwd.line         a producer-initiated write-forward delivered
+fwd.drop         a write-forward suppressed by fault injection
+fault.inject     a fault rule fired (``fault`` carries the FaultKind value)
+sched.block      the co-sim scheduler parked a core on a predicate
+sched.resume     the scheduler woke a parked core (``status``)
+sched.done       a core's generator finished
+===============  ====================================================
+
+Instant events have ``dur == 0``; span events carry a positive ``dur`` and
+map onto Chrome-trace "complete" (``ph: X``) events in the exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: All event categories (kind prefixes) the instrumentation can emit.
+CATEGORIES = (
+    "core",
+    "comm",
+    "queue",
+    "bus",
+    "mem",
+    "fwd",
+    "fault",
+    "sched",
+)
+
+
+def category_of(kind: str) -> str:
+    """Category (filter key) of an event kind: the prefix before the dot."""
+    dot = kind.find(".")
+    return kind if dot < 0 else kind[:dot]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One timestamped simulator event.
+
+    Attributes:
+        seq: Global emission sequence number (total order across cores, used
+            to detect ring-buffer drops and to stable-sort equal timestamps).
+        kind: Dotted event kind from the taxonomy above.
+        ts: Simulated time (CPU cycles) of the event (span start for spans).
+        core: Core id the event belongs to, or ``None`` for global events.
+        queue: Architectural queue id, when the event concerns one.
+        dur: Span duration in cycles (0 for instant events).
+        args: Kind-specific payload (small scalars only, by convention).
+    """
+
+    seq: int
+    kind: str
+    ts: float
+    core: Optional[int] = None
+    queue: Optional[int] = None
+    dur: float = 0.0
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        return category_of(self.kind)
+
+    @property
+    def end(self) -> float:
+        """Span end time (== ``ts`` for instant events)."""
+        return self.ts + self.dur
+
+    def describe(self) -> str:
+        where = []
+        if self.core is not None:
+            where.append(f"core {self.core}")
+        if self.queue is not None:
+            where.append(f"queue {self.queue}")
+        loc = " ".join(where) or "global"
+        extra = ""
+        if self.args:
+            extra = " " + " ".join(f"{k}={v}" for k, v in sorted(self.args.items()))
+        dur = f" dur={self.dur:g}" if self.dur else ""
+        return f"t={self.ts:.0f} {self.kind} @ {loc}{dur}{extra}"

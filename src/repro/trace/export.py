@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome-trace (Perfetto-loadable) JSON and CSV.
+
+The Chrome trace event format is the JSON array-of-objects format consumed
+by ``chrome://tracing`` and https://ui.perfetto.dev: each event carries a
+phase (``ph``), a timestamp in microseconds (``ts``), and a ``pid``/``tid``
+pair that the viewer renders as process/thread rows.  We map:
+
+* ``pid 0`` ("cmp") — per-core rows: ``tid`` = core id; span events
+  (``dur > 0``) become complete (``X``) slices, instants become ``i``.
+* ``pid 1`` ("queues") — per-queue rows: ``tid`` = queue id, so queue
+  publish/free/forward activity lines up under each channel.
+
+Simulated CPU cycles are exported 1:1 as microseconds (the viewer has no
+notion of cycles; a 1 µs slice reads as 1 cycle).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Dict, Iterable, List, Union
+
+from repro.trace.events import TraceEvent
+
+#: Column order of the CSV export.
+CSV_FIELDS = ("seq", "kind", "ts", "dur", "core", "queue", "args")
+
+_CMP_PID = 0
+_QUEUE_PID = 1
+#: tid used for events bound to neither a core nor a queue.
+_GLOBAL_TID = 99
+
+
+def _chrome_event(ev: TraceEvent) -> Dict[str, object]:
+    if ev.queue is not None and ev.core is None:
+        pid, tid = _QUEUE_PID, ev.queue
+    elif ev.core is not None:
+        pid, tid = _CMP_PID, ev.core
+    else:
+        pid, tid = _CMP_PID, _GLOBAL_TID
+    args: Dict[str, object] = {k: v for k, v in ev.args.items()}
+    if ev.queue is not None:
+        args.setdefault("queue", ev.queue)
+    out: Dict[str, object] = {
+        "name": ev.kind,
+        "cat": ev.category,
+        "ts": ev.ts,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+    if ev.dur > 0:
+        out["ph"] = "X"
+        out["dur"] = ev.dur
+    else:
+        out["ph"] = "i"
+        out["s"] = "t"  # instant scoped to its thread row
+    return out
+
+
+def _metadata(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
+    """Process/thread naming records so the viewer labels rows usefully."""
+    cores = sorted({ev.core for ev in events if ev.core is not None})
+    queues = sorted({ev.queue for ev in events if ev.queue is not None and ev.core is None})
+    meta: List[Dict[str, object]] = [
+        {"ph": "M", "name": "process_name", "pid": _CMP_PID, "args": {"name": "cmp"}},
+        {"ph": "M", "name": "process_name", "pid": _QUEUE_PID, "args": {"name": "queues"}},
+    ]
+    for core in cores:
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _CMP_PID,
+                "tid": core,
+                "args": {"name": f"core {core}"},
+            }
+        )
+    for queue in queues:
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _QUEUE_PID,
+                "tid": queue,
+                "args": {"name": f"queue {queue}"},
+            }
+        )
+    return meta
+
+
+def to_chrome_trace(trace) -> Dict[str, object]:
+    """Render a trace (buffer or event list) as a Chrome-trace JSON object."""
+    events = list(trace)
+    records = _metadata(events)
+    records.extend(_chrome_event(ev) for ev in events)
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.trace", "unit": "1us == 1 CPU cycle"},
+    }
+
+
+def write_chrome_trace(trace, path_or_file: Union[str, IO[str]]) -> None:
+    """Write the Chrome-trace JSON for ``trace`` to a path or file object.
+
+    The output loads directly in ``chrome://tracing`` or Perfetto.
+    """
+    doc = to_chrome_trace(trace)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+        return
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def write_csv(trace, path_or_file: Union[str, IO[str]]) -> None:
+    """Write one row per event, ``CSV_FIELDS`` columns, args as JSON."""
+    if hasattr(path_or_file, "write"):
+        _write_csv_rows(trace, path_or_file)
+        return
+    with open(path_or_file, "w", encoding="utf-8", newline="") as fh:
+        _write_csv_rows(trace, fh)
+
+
+def _write_csv_rows(trace, fh: IO[str]) -> None:
+    writer = csv.writer(fh)
+    writer.writerow(CSV_FIELDS)
+    for ev in trace:
+        writer.writerow(
+            [
+                ev.seq,
+                ev.kind,
+                f"{ev.ts:g}",
+                f"{ev.dur:g}",
+                "" if ev.core is None else ev.core,
+                "" if ev.queue is None else ev.queue,
+                json.dumps(ev.args, sort_keys=True) if ev.args else "",
+            ]
+        )

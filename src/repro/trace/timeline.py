@@ -1,0 +1,184 @@
+"""Derived timelines: queue occupancy over time and bus-utilization windows.
+
+These are the first consumers of the raw event stream: they fold the
+``queue.publish`` / ``queue.free`` visibility events into a step function of
+per-channel occupancy, and the ``bus.grant`` spans into windowed utilization
+— the two quantities the paper's arguments about queue-full/empty exposure
+and bus contention are really about.
+
+Both come with invariant checkers.  Occupancy must stay within
+``[0, depth]`` at every sample: a negative sample means a slot was freed
+that was never published (attribution bug), an over-depth sample means the
+producer overran the architectural bound (gating bug).  Utilization must
+stay within ``[0, 1]``: anything above 1 means the bus double-booked a
+cycle.  Reconstructions are only sound when the ring buffer kept every
+event, so the builders refuse (by default) to work on a trace that dropped
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: One occupancy step: (time, occupancy-after-this-instant).
+OccupancySample = Tuple[float, int]
+
+
+class TraceIncompleteError(ValueError):
+    """The ring buffer dropped events, so a derived timeline would lie."""
+
+
+def _require_complete(trace, allow_dropped: bool) -> None:
+    dropped = getattr(trace, "dropped", 0)
+    if dropped and not allow_dropped:
+        raise TraceIncompleteError(
+            f"trace dropped {dropped} events (ring capacity too small); "
+            "raise TraceConfig.capacity or pass allow_dropped=True"
+        )
+
+
+@dataclass
+class OccupancyViolation:
+    """One out-of-bounds occupancy sample."""
+
+    queue_id: int
+    time: float
+    occupancy: int
+    depth: int
+
+    def describe(self) -> str:
+        bound = "negative" if self.occupancy < 0 else f"over depth {self.depth}"
+        return (
+            f"queue {self.queue_id}: occupancy {self.occupancy} ({bound}) "
+            f"at t={self.time:.0f}"
+        )
+
+
+def queue_occupancy(
+    trace, queue_id: int, allow_dropped: bool = False
+) -> List[OccupancySample]:
+    """Occupancy step function of one queue from its publish/free events.
+
+    Each ``queue.publish`` raises occupancy by one at its visibility time,
+    each ``queue.free`` lowers it.  Events are ordered by (time, seq);
+    at equal times frees apply before publishes, matching the architectural
+    bound (a producer gated on a free can publish in the same cycle the
+    free lands).
+    """
+    _require_complete(trace, allow_dropped)
+    deltas: List[Tuple[float, int, int, int]] = []  # (ts, order, seq, delta)
+    for ev in trace:
+        if ev.queue != queue_id:
+            continue
+        if ev.kind == "queue.publish":
+            deltas.append((ev.ts, 1, ev.seq, +1))
+        elif ev.kind == "queue.free":
+            deltas.append((ev.ts, 0, ev.seq, -1))
+    deltas.sort()
+    samples: List[OccupancySample] = []
+    occ = 0
+    for ts, _order, _seq, delta in deltas:
+        occ += delta
+        if samples and samples[-1][0] == ts:
+            samples[-1] = (ts, occ)
+        else:
+            samples.append((ts, occ))
+    return samples
+
+
+def check_occupancy(
+    samples: List[OccupancySample], depth: int, queue_id: int = 0
+) -> List[OccupancyViolation]:
+    """All samples violating ``0 <= occupancy <= depth`` (empty = healthy)."""
+    return [
+        OccupancyViolation(queue_id=queue_id, time=ts, occupancy=occ, depth=depth)
+        for ts, occ in samples
+        if occ < 0 or occ > depth
+    ]
+
+
+def occupancy_plateaus(
+    samples: List[OccupancySample], min_duration: float, level: Optional[int] = None
+) -> List[Tuple[float, float, int]]:
+    """Spans where occupancy held one value for at least ``min_duration``.
+
+    Returns ``(start, end, occupancy)`` triples.  ``level`` restricts to one
+    occupancy value (e.g. the queue depth, to find full-queue stalls).  The
+    trailing open-ended span after the last event is not reported — only
+    plateaus bounded by a later occupancy change count.
+    """
+    out: List[Tuple[float, float, int]] = []
+    for (t0, occ), (t1, _next_occ) in zip(samples, samples[1:]):
+        if level is not None and occ != level:
+            continue
+        if t1 - t0 >= min_duration:
+            out.append((t0, t1, occ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bus utilization
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class UtilizationWindow:
+    """Bus occupancy within one ``[start, start + width)`` window."""
+
+    start: float
+    width: float
+    busy: float
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.width if self.width > 0 else 0.0
+
+
+def bus_utilization(
+    trace, window: float = 1000.0, allow_dropped: bool = False
+) -> List[UtilizationWindow]:
+    """Windowed shared-bus utilization from ``bus.grant`` spans.
+
+    Each grant's occupancy hold ``[ts, ts + dur)`` is clipped into
+    fixed-width windows covering the traced interval.  Windows with no
+    traffic still appear (utilization 0), so plots show idle gaps.
+    """
+    if window <= 0:
+        raise ValueError("window width must be positive")
+    _require_complete(trace, allow_dropped)
+    spans = [
+        (ev.ts, ev.ts + ev.dur)
+        for ev in trace
+        if ev.kind == "bus.grant" and ev.dur > 0
+    ]
+    if not spans:
+        return []
+    horizon = max(end for _start, end in spans)
+    n_windows = int(horizon // window) + 1
+    busy = [0.0] * n_windows
+    for start, end in spans:
+        w = int(start // window)
+        while w < n_windows:
+            w_start = w * window
+            w_end = w_start + window
+            overlap = min(end, w_end) - max(start, w_start)
+            if overlap <= 0:
+                break
+            busy[w] += overlap
+            w += 1
+    return [
+        UtilizationWindow(start=w * window, width=window, busy=busy[w])
+        for w in range(n_windows)
+    ]
+
+
+def check_bus_utilization(windows: List[UtilizationWindow]) -> List[UtilizationWindow]:
+    """Windows whose utilization leaves ``[0, 1]`` (empty = healthy).
+
+    A split-transaction bus reserves disjoint busy intervals, so clipped
+    occupancy can never exceed the window width; an over-1 sample means the
+    bus model double-booked a cycle.
+    """
+    eps = 1e-9
+    return [w for w in windows if w.busy < -eps or w.busy > w.width + eps]

@@ -59,6 +59,19 @@ class TestReporting:
         s = with_geomean({"a": 2.0, "b": 8.0})
         assert s["GeoMean"] == pytest.approx(4.0)
 
+    def test_with_geomean_does_not_mutate_input(self):
+        series = {"a": 2.0, "b": 8.0}
+        with_geomean(series)
+        assert "GeoMean" not in series
+
+    def test_with_geomean_empty_series(self):
+        with pytest.raises(ValueError, match="empty series"):
+            with_geomean({})
+
+    def test_with_geomean_names_nonpositive_labels(self):
+        with pytest.raises(ValueError, match=r"\['bad', 'worse'\]"):
+            with_geomean({"ok": 1.0, "bad": 0.0, "worse": -2.0})
+
     def test_breakdown_table_contains_components(self):
         bars = {"wc/HEAVYWT": {c: 0.1 for c in BAR_COMPONENTS}}
         out = format_breakdown_table("t", bars)

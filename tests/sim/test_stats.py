@@ -89,6 +89,30 @@ class TestThreadStats:
         t.charge_breakdown(LatencyBreakdown(total=10, l2=10), 0)
         assert t.component_sum() == 0
 
+    def test_charge_breakdown_conserves_cycles_exactly(self):
+        # Regression: independent per-component round() calls could each
+        # round up, overshooting the exposure and leaking a negative
+        # COMPUTE residual.  Awkward mixes must still sum to `exposed`.
+        for exposed in (1, 3, 7, 13, 101):
+            t = ThreadStats()
+            bd = LatencyBreakdown(total=9, l2=3, bus=3, l3=1, mem=1, prel2=1)
+            t.charge_breakdown(bd, exposed)
+            assert t.component_sum() == pytest.approx(exposed)
+            assert all(v >= 0 for v in t.components.values())
+
+    def test_charge_breakdown_fractional_exposure_lands_in_compute(self):
+        t = ThreadStats()
+        t.charge_breakdown(LatencyBreakdown(total=10, l2=10), 2.75)
+        assert t.component_sum() == pytest.approx(2.75)
+        assert t.components["COMPUTE"] == pytest.approx(0.75)
+
+    def test_scaled_to_never_overshoots(self):
+        bd = LatencyBreakdown(total=9, l2=3, bus=3, l3=3)
+        for cycles in range(1, 12):
+            scaled = bd.scaled_to(cycles)
+            named = scaled.l2 + scaled.bus + scaled.l3 + scaled.mem + scaled.prel2
+            assert named <= cycles
+
     def test_comm_to_app_ratio(self):
         t = ThreadStats(app_instructions=100, comm_instructions=20)
         assert t.comm_to_app_ratio == pytest.approx(0.2)

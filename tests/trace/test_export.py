@@ -1,0 +1,90 @@
+"""Exporter tests: Chrome-trace JSON validity and CSV shape."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.harness.runner import run_benchmark
+from repro.trace.buffer import TraceBuffer
+from repro.trace.export import CSV_FIELDS, to_chrome_trace, write_chrome_trace, write_csv
+
+
+def _synthetic_trace() -> TraceBuffer:
+    buf = TraceBuffer()
+    buf.emit("comm.produce", 10.0, core=0, queue=0, dur=12.0, stall=2.0)
+    buf.emit("queue.publish", 22.0, queue=0, item=0)
+    buf.emit("comm.consume", 30.0, core=1, queue=0, dur=9.0)
+    buf.emit("sched.done", 50.0)
+    return buf
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_synthetic_trace())
+        assert isinstance(doc["traceEvents"], list)
+        # Round-trips through JSON without custom encoders.
+        json.loads(json.dumps(doc))
+
+    def test_spans_and_instants(self):
+        doc = to_chrome_trace(_synthetic_trace())
+        by_name = {}
+        for rec in doc["traceEvents"]:
+            if rec.get("ph") in ("X", "i"):
+                by_name.setdefault(rec["name"], rec)
+        assert by_name["comm.produce"]["ph"] == "X"
+        assert by_name["comm.produce"]["dur"] == 12.0
+        assert by_name["queue.publish"]["ph"] == "i"
+
+    def test_rows_split_cores_and_queues(self):
+        doc = to_chrome_trace(_synthetic_trace())
+        events = doc["traceEvents"]
+        core_tids = {r["tid"] for r in events if r.get("ph") == "X" and r["pid"] == 0}
+        assert core_tids == {0, 1}
+        queue_rows = [r for r in events if r.get("ph") == "i" and r["pid"] == 1]
+        assert queue_rows and queue_rows[0]["tid"] == 0
+
+    def test_metadata_names_rows(self):
+        doc = to_chrome_trace(_synthetic_trace())
+        names = [
+            r["args"]["name"]
+            for r in doc["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "thread_name"
+        ]
+        assert "core 0" in names and "core 1" in names and "queue 0" in names
+
+    def test_real_run_exports_events_from_both_cores(self, tmp_path):
+        result = run_benchmark("wc", "EXISTING", trip_count=50, trace=True)
+        path = tmp_path / "wc.trace.json"
+        write_chrome_trace(result.trace, str(path))
+        doc = json.loads(path.read_text())
+        cores = {
+            rec["tid"]
+            for rec in doc["traceEvents"]
+            if rec.get("ph") in ("X", "i") and rec["pid"] == 0
+        }
+        assert {0, 1} <= cores
+
+    def test_write_accepts_file_object(self):
+        sink = io.StringIO()
+        write_chrome_trace(_synthetic_trace(), sink)
+        assert json.loads(sink.getvalue())["traceEvents"]
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        sink = io.StringIO()
+        write_csv(_synthetic_trace(), sink)
+        rows = list(csv.reader(io.StringIO(sink.getvalue())))
+        assert tuple(rows[0]) == CSV_FIELDS
+        assert len(rows) == 1 + 4
+        publish = rows[2]
+        assert publish[rows[0].index("kind")] == "queue.publish"
+        args = json.loads(publish[rows[0].index("args")])
+        assert args == {"item": 0}
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(_synthetic_trace(), str(path))
+        assert path.read_text().startswith("seq,kind,ts")

@@ -1,0 +1,125 @@
+"""COMM-OP profiler tests: aggregation, pacing transform, and the paper's
+design-point ordering (EXISTING > MEMOPTI > SYNCOPTI > HEAVYWT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import isa
+from repro.trace.buffer import TraceBuffer
+from repro.trace.profiler import (
+    COMM_OP_POINTS,
+    CommOpProfiler,
+    CommOpStats,
+    decoupled_program,
+    measure_comm_ops,
+)
+from repro.workloads.suite import build_pipelined
+
+
+class TestCommOpStats:
+    def test_delay_subtracts_stall_and_feed(self):
+        stats = CommOpStats(benchmark="wc", design_point="EXISTING")
+        stats.add_op("comm.produce", 30.0, 10.0, {"feed": 5.0, "l2": 4.0})
+        assert stats.n_produces == 1
+        assert stats.total_delay == pytest.approx(15.0)
+        assert stats.total_block == pytest.approx(10.0)
+        assert stats.total_feed == pytest.approx(5.0)
+        assert stats.mean_component("l2") == pytest.approx(4.0)
+
+    def test_delay_clamped_at_zero(self):
+        stats = CommOpStats(benchmark="wc", design_point="HEAVYWT")
+        stats.add_op("comm.consume", 5.0, 4.0, {"feed": 3.0})
+        assert stats.total_delay == 0.0
+
+    def test_means_safe_when_empty(self):
+        stats = CommOpStats(benchmark="wc", design_point="HEAVYWT")
+        assert stats.mean_delay == 0.0
+        assert stats.mean_block == 0.0
+        assert stats.mean_feed == 0.0
+
+    def test_measure_folds_only_comm_events(self):
+        buf = TraceBuffer()
+        buf.emit("comm.produce", 0.0, core=0, queue=0, dur=12.0, stall=2.0)
+        buf.emit("comm.consume", 5.0, core=1, queue=0, dur=8.0, stall=0.0)
+        buf.emit("bus.grant", 6.0, core=0, dur=4.0)
+        stats = measure_comm_ops(buf, "wc", "EXISTING")
+        assert stats.n_ops == 2
+        assert stats.total_delay == pytest.approx(18.0)
+
+
+class TestDecoupledProgram:
+    def test_pure_consumer_threads_get_pacing_chains(self):
+        base = build_pipelined("wc", 8)
+        paced = decoupled_program(base, 16)
+        assert paced.name.endswith("+paced")
+        assert paced.queue_endpoints == base.queue_endpoints
+        prod_idx, cons_idx = next(iter(base.queue_endpoints.values()))
+        base_prod = list(base.threads[prod_idx].instructions())
+        paced_prod = list(paced.threads[prod_idx].instructions())
+        assert len(paced_prod) == len(base_prod)  # producer untouched
+        base_cons = list(base.threads[cons_idx].instructions())
+        paced_cons = list(paced.threads[cons_idx].instructions())
+        n_consumes = sum(
+            1 for i in base_cons if i.kind is isa.InstrKind.CONSUME
+        )
+        assert len(paced_cons) == len(base_cons) + 16 * n_consumes
+        pace_ops = [i for i in paced_cons if getattr(i, "tag", None) == "pace"]
+        assert len(pace_ops) == 16 * n_consumes
+
+    def test_chain_is_dependent_on_consumed_value(self):
+        base = build_pipelined("wc", 2)
+        paced = decoupled_program(base, 3)
+        _, cons_idx = next(iter(base.queue_endpoints.values()))
+        instrs = list(paced.threads[cons_idx].instructions())
+        for pos, inst in enumerate(instrs):
+            if inst.kind is isa.InstrKind.CONSUME and inst.dest is not None:
+                first_pace = instrs[pos + 1]
+                assert first_pace.tag == "pace"
+                assert inst.dest in first_pace.srcs
+                break
+        else:
+            pytest.fail("no CONSUME with a destination found")
+
+    def test_zero_pacing_is_identity(self):
+        base = build_pipelined("wc", 4)
+        assert decoupled_program(base, 0) is base
+
+
+class TestProfilerValidation:
+    def test_rejects_bad_trip_count(self):
+        with pytest.raises(ValueError, match="trip_count"):
+            CommOpProfiler(trip_count=0)
+
+    def test_rejects_negative_pacing(self):
+        with pytest.raises(ValueError, match="consumer_pacing"):
+            CommOpProfiler(consumer_pacing=-1)
+
+
+class TestPaperOrdering:
+    """The acceptance pin: COMM-OP delay falls monotonically across the
+    paper's design points on its kernels, per benchmark and in the mean."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return CommOpProfiler(trip_count=100).profile()
+
+    def test_mean_ordering_matches_paper(self, report):
+        assert report.ordering() == list(COMM_OP_POINTS)
+
+    @pytest.mark.parametrize("bench", ("wc", "adpcmdec", "fir"))
+    def test_per_benchmark_strict_ordering(self, report, bench):
+        delays = [report.delay(p, bench) for p in COMM_OP_POINTS]
+        assert all(a > b for a, b in zip(delays, delays[1:])), delays
+
+    def test_software_queue_cost_dwarfs_hardware_queues(self, report):
+        # Section 4.3: ~10-instruction software sequences vs ~1-cycle
+        # hardware queue ops — an order of magnitude, not a nuance.
+        assert report.delay("EXISTING") > 10 * report.delay("SYNCOPTI")
+
+    def test_render_contains_grid_and_mean(self, report):
+        text = report.render()
+        assert "COMM-OP delay" in text
+        for point in COMM_OP_POINTS:
+            assert point in text
+        assert "MEAN" in text

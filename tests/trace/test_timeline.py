@@ -1,0 +1,118 @@
+"""Derived-timeline tests: occupancy reconstruction and bus utilization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.buffer import TraceBuffer, TraceConfig
+from repro.trace.timeline import (
+    TraceIncompleteError,
+    bus_utilization,
+    check_bus_utilization,
+    check_occupancy,
+    occupancy_plateaus,
+    queue_occupancy,
+)
+
+
+def _publish(buf, ts, queue=0, item=0):
+    buf.emit("queue.publish", ts, queue=queue, item=item)
+
+
+def _free(buf, ts, queue=0, item=0):
+    buf.emit("queue.free", ts, queue=queue, item=item)
+
+
+class TestQueueOccupancy:
+    def test_step_function(self):
+        buf = TraceBuffer()
+        _publish(buf, 10.0, item=0)
+        _publish(buf, 20.0, item=1)
+        _free(buf, 30.0, item=0)
+        samples = queue_occupancy(buf, 0)
+        assert samples == [(10.0, 1), (20.0, 2), (30.0, 1)]
+
+    def test_equal_time_free_applies_before_publish(self):
+        # A producer gated on a free may publish in the same cycle the free
+        # lands; the reconstruction must not report a transient over-depth.
+        buf = TraceBuffer()
+        _publish(buf, 10.0, item=0)
+        _publish(buf, 30.0, item=1)  # emitted before the free, same ts
+        _free(buf, 30.0, item=0)
+        samples = queue_occupancy(buf, 0)
+        assert samples == [(10.0, 1), (30.0, 1)]
+
+    def test_other_queues_ignored(self):
+        buf = TraceBuffer()
+        _publish(buf, 10.0, queue=0)
+        _publish(buf, 11.0, queue=1)
+        assert queue_occupancy(buf, 0) == [(10.0, 1)]
+
+    def test_refuses_dropped_trace(self):
+        buf = TraceBuffer(TraceConfig(capacity=2))
+        for i in range(4):
+            _publish(buf, float(i), item=i)
+        with pytest.raises(TraceIncompleteError, match="dropped 2"):
+            queue_occupancy(buf, 0)
+        assert queue_occupancy(buf, 0, allow_dropped=True)
+
+
+class TestCheckOccupancy:
+    def test_healthy_window(self):
+        assert check_occupancy([(0.0, 0), (1.0, 3), (2.0, 0)], depth=4) == []
+
+    def test_flags_negative_and_overdepth(self):
+        violations = check_occupancy([(1.0, -1), (2.0, 5)], depth=4, queue_id=7)
+        assert len(violations) == 2
+        assert "negative" in violations[0].describe()
+        assert "over depth 4" in violations[1].describe()
+        assert violations[0].queue_id == 7
+
+
+class TestPlateaus:
+    def test_finds_long_spans_at_level(self):
+        samples = [(0.0, 0), (10.0, 4), (200.0, 3), (210.0, 4), (215.0, 3)]
+        full = occupancy_plateaus(samples, min_duration=100.0, level=4)
+        assert full == [(10.0, 200.0, 4)]
+
+    def test_trailing_open_span_not_reported(self):
+        samples = [(0.0, 4)]
+        assert occupancy_plateaus(samples, min_duration=0.0) == []
+
+
+class TestBusUtilization:
+    def test_windows_cover_trace_and_include_idle(self):
+        buf = TraceBuffer()
+        buf.emit("bus.grant", 100.0, core=0, dur=50.0)
+        buf.emit("bus.grant", 2500.0, core=1, dur=100.0)
+        windows = bus_utilization(buf, window=1000.0)
+        assert len(windows) == 3
+        assert windows[0].busy == pytest.approx(50.0)
+        assert windows[1].busy == 0.0
+        assert windows[2].busy == pytest.approx(100.0)
+        assert windows[0].utilization == pytest.approx(0.05)
+
+    def test_span_clipped_across_window_edge(self):
+        buf = TraceBuffer()
+        buf.emit("bus.grant", 900.0, core=0, dur=200.0)
+        windows = bus_utilization(buf, window=1000.0)
+        assert windows[0].busy == pytest.approx(100.0)
+        assert windows[1].busy == pytest.approx(100.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            bus_utilization(TraceBuffer(), window=0.0)
+
+    def test_empty_trace(self):
+        assert bus_utilization(TraceBuffer()) == []
+
+    def test_check_flags_overbooked_window(self):
+        windows = bus_utilization_overbooked()
+        assert check_bus_utilization(windows)
+
+
+def bus_utilization_overbooked():
+    # Hand-build an impossible window; the checker flags it.
+    from repro.trace.timeline import UtilizationWindow
+
+    return [UtilizationWindow(start=0.0, width=100.0, busy=150.0)]
