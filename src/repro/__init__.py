@@ -12,6 +12,9 @@ The package provides:
   SYNCOPTI occupancy counters + stream cache, HEAVYWT dedicated hardware);
 * :mod:`repro.dswp` — a Decoupled Software Pipelining substrate (loop IR,
   dependence graphs, SCC partitioning, code generation);
+* :mod:`repro.pipeline` — DSWP generalized to K stages on K cores: an
+  exact chain-decomposing partitioner, relay codegen over adjacent-pair
+  queues, and the pipeline-scaling study across the design space;
 * :mod:`repro.workloads` — the Table 1 benchmark suite rebuilt as
   calibrated IR kernels;
 * :mod:`repro.harness` — one runnable experiment per table/figure, with
@@ -39,6 +42,7 @@ from repro.core.design_points import (
     get_design_point,
     with_bus_latency,
     with_bus_width,
+    with_n_cores,
     with_queue_depth,
     with_transit_delay,
 )
@@ -51,6 +55,13 @@ from repro.harness.runner import (
     run_benchmark,
     run_benchmark_resilient,
     run_single_threaded,
+)
+from repro.pipeline import (
+    build_pipeline,
+    build_pipeline_partition,
+    lower_pipeline,
+    partition_loop_k,
+    pipeline_scaling,
 )
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.cosim import DeadlockError, SimulationError, SimulationLimitError
@@ -116,6 +127,8 @@ __all__ = [
     "available_mechanisms",
     "baseline_config",
     "build_partition",
+    "build_pipeline",
+    "build_pipeline_partition",
     "build_pipelined",
     "build_single_threaded",
     "bus_utilization",
@@ -124,7 +137,10 @@ __all__ = [
     "create_mechanism",
     "geomean",
     "get_design_point",
+    "lower_pipeline",
     "measure_comm_ops",
+    "partition_loop_k",
+    "pipeline_scaling",
     "occupancy_plateaus",
     "queue_occupancy",
     "run_all",
@@ -136,6 +152,7 @@ __all__ = [
     "to_chrome_trace",
     "with_bus_latency",
     "with_bus_width",
+    "with_n_cores",
     "with_queue_depth",
     "with_transit_delay",
     "write_chrome_trace",

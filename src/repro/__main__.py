@@ -1,0 +1,93 @@
+"""``python -m repro``: list and run the reproduction's experiments.
+
+Examples::
+
+    python -m repro list
+    python -m repro run figure7 --scale 0.25
+    python -m repro run table1 pipeline_scaling
+    python -m repro run all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def _first_doc_line(fn) -> str:
+    doc = fn.__doc__ or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Support for High-Frequency Streaming in CMPs' "
+            "(MICRO 2006): regenerate the paper's tables and figures, plus "
+            "the pipeline-scaling study."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the available experiments")
+    run = sub.add_parser("run", help="run named experiments and print them")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="NAME",
+        help=f"experiment names ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help=(
+            "multiplier on per-benchmark iteration counts (tables ignore "
+            "it; use e.g. 0.1 for a quick smoke)"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in ALL_EXPERIMENTS)
+        for name, fn in ALL_EXPERIMENTS.items():
+            print(f"{name:<{width}}  {_first_doc_line(fn)}")
+        return 0
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(ALL_EXPERIMENTS)} (or 'all')"
+        )
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    failed = 0
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        result = fn() if name.startswith("table") else fn(args.scale)
+        print(result.text)
+        print()
+        failed += len(result.failures)
+    if failed:
+        print(f"{failed} cell(s) failed across the requested experiments.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,3 +191,14 @@ def with_bus_width(config: MachineConfig, width_bytes: int) -> MachineConfig:
     out = config.copy()
     out.bus = dataclasses.replace(out.bus, width_bytes=width_bytes)
     return out.validate()
+
+
+def with_n_cores(config: MachineConfig, n_cores: int) -> MachineConfig:
+    """Pipeline-scaling override: core count (= maximum pipeline stages).
+
+    Every per-core structure (cores, store ports, stream-cache instances,
+    L1/L2 instances, snoop sets) is sized from ``n_cores`` at machine
+    construction, so this is the only knob an N-stage pipeline needs.
+    """
+    out = config.copy(n_cores=n_cores)
+    return out.validate()

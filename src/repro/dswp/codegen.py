@@ -56,7 +56,15 @@ def hoistable_ops(loop: Loop) -> Set[str]:
 
 
 class _StageEmitter:
-    """Emits one thread's dynamic instruction stream for a partitioned loop."""
+    """Emits one thread's dynamic instruction stream for a partitioned loop.
+
+    The emission skeleton (modulo-scheduled hoisting, consumes at the top of
+    the iteration, body walk in program order, replicated loop control) is
+    shared with the K-stage emitter in :mod:`repro.pipeline.codegen`, which
+    overrides only the ``_consumes`` / ``_produces_after`` hooks.  Keeping
+    one skeleton is what makes a two-stage pipeline lowered through either
+    path instruction-for-instruction identical.
+    """
 
     def __init__(
         self,
@@ -118,6 +126,23 @@ class _StageEmitter:
             else:  # pragma: no cover - enum is closed
                 raise ValueError(f"unloweable op kind {op.kind}")
 
+    def _consumes(self, iteration: int) -> Iterator[DynInst]:
+        """CONSUMEs emitted at the top of one iteration (DSWP convention)."""
+        for value in self.crossing_in:
+            op = self.loop.op(value)
+            for _ in range(op.repeat):
+                yield isa.consume(self.reg(value, iteration), self.queue_of[value])
+
+    def _produces_after(self, op: Op, iteration: int) -> Iterator[DynInst]:
+        """PRODUCEs emitted right after ``op``'s body position."""
+        if (
+            self.stage == 0
+            and op.op_id in self.queue_of
+            and self.stage_of[op.op_id] == 0
+        ):
+            for _ in range(op.repeat):
+                yield isa.produce(self.queue_of[op.op_id], self.reg(op.op_id, iteration))
+
     def instructions(self) -> Iterator[DynInst]:
         loop = self.loop
         trip = loop.trip_count
@@ -143,21 +168,12 @@ class _StageEmitter:
                                 op, target, addr_streams[op.op_id]
                             )
             # DSWP convention: all consumes at the top of the iteration.
-            for value in self.crossing_in:
-                op = loop.op(value)
-                for _ in range(op.repeat):
-                    yield isa.consume(self.reg(value, i), self.queue_of[value])
+            yield from self._consumes(i)
             # Body in program order (hoisted loads already emitted).
             for op in loop.body:
                 if self._mine(op) and op.op_id not in self.rotated:
                     yield from self._lower_op(op, i, addr_streams.get(op.op_id))
-                if (
-                    self.stage == 0
-                    and op.op_id in self.queue_of
-                    and self.stage_of[op.op_id] == 0
-                ):
-                    for _ in range(op.repeat):
-                        yield isa.produce(self.queue_of[op.op_id], self.reg(op.op_id, i))
+                yield from self._produces_after(op, i)
             # Replicated loop control.
             yield DynInst(
                 isa.InstrKind.IALU, dest=INDUCTION_REG, srcs=(INDUCTION_REG,), tag="ind"

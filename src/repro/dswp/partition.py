@@ -13,9 +13,12 @@ that all cross-thread dependences flow in one direction.  The algorithm:
    crossing value costs a produce/consume pair per iteration — COMM-OP
    delay, the quantity the paper's mechanisms fight over).
 
-This implementation produces the two-stage partitions the paper evaluates
+:func:`partition_loop` produces the two-stage partitions the paper evaluates
 (its machine is a dual-core CMP); the cut search is exact over all
-topological prefixes.
+topological prefixes.  :class:`Partition` itself is stage-count-agnostic —
+``stage_of`` may assign any number of stages as long as every dependence
+flows forward — and :func:`repro.pipeline.partition.partition_loop_k`
+builds K-stage instances of it for the N-core scalability study.
 """
 
 from __future__ import annotations
@@ -37,18 +40,25 @@ _EXHAUSTIVE_SCC_LIMIT = 14
 
 @dataclass(frozen=True)
 class Partition:
-    """A two-stage DSWP partition of one loop.
+    """A pipeline-stage DSWP partition of one loop (any stage count).
 
     Attributes:
         loop: The partitioned loop.
-        stage_of: op_id -> stage index (0 = producer, 1 = consumer).
-        crossing_values: op_ids whose values cross the cut, in body order.
-            Each is assigned one architectural queue by the code generator.
+        stage_of: op_id -> stage index; stage 0 feeds stage 1 feeds stage 2
+            and so on (the paper's dual-core partitions use stages {0, 1}).
+        crossing_values: op_ids whose values cross at least one stage
+            boundary, in body order.  The code generator assigns each one
+            an architectural queue per boundary it crosses.
     """
 
     loop: Loop
     stage_of: Dict[str, int]
     crossing_values: Tuple[str, ...]
+
+    @property
+    def n_stages(self) -> int:
+        """Number of pipeline stages (threads) this partition emits."""
+        return 1 + max(self.stage_of.values(), default=0)
 
     def ops_in_stage(self, stage: int) -> List[Op]:
         return [op for op in self.loop.body if self.stage_of[op.op_id] == stage]
@@ -61,7 +71,14 @@ class Partition:
         return sum(self.loop.op(v).repeat for v in self.crossing_values)
 
     def validate(self) -> None:
-        """Check the DSWP invariant: no stage-1 -> stage-0 dependence."""
+        """Check the DSWP invariant: no backward (stage j -> i, j > i) dependence.
+
+        Any dependence from a later stage back into an earlier one would
+        close a cross-thread cycle and serialize the pipeline; the check is
+        stage-count-agnostic, so the same invariant covers the paper's
+        two-stage partitions and the K-stage partitions of
+        :mod:`repro.pipeline`.
+        """
         for op in self.loop.body:
             for dep in op.deps + op.carried_deps:
                 if self.stage_of[dep] > self.stage_of[op.op_id]:

@@ -546,7 +546,22 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
     )
 
 
-#: All exhibits, in paper order.
+def pipeline_scaling(scale: float = 1.0) -> ExperimentResult:
+    """Scalability study: K-stage DSWP pipelines on K-core machines.
+
+    Sweeps stage count over the four design points and reports speedup,
+    per-hop COMM-OP delay, and bus utilization.  Expected shape: SYNCOPTI
+    and HEAVYWT keep scaling with stage count; EXISTING saturates as its
+    software-queue synchronization and shared-bus contention grow with K.
+    """
+    # Imported lazily: repro.pipeline.scaling needs this module's
+    # ExperimentResult, so a top-level import here would cycle.
+    from repro.pipeline.scaling import pipeline_scaling as _pipeline_scaling
+
+    return _pipeline_scaling(scale)
+
+
+#: All exhibits, in paper order (the scalability study extends the paper).
 ALL_EXPERIMENTS = {
     "table1": table1,
     "table2": table2,
@@ -557,6 +572,7 @@ ALL_EXPERIMENTS = {
     "figure10": figure10,
     "figure11": figure11,
     "figure12": figure12,
+    "pipeline_scaling": pipeline_scaling,
 }
 
 

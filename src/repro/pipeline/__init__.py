@@ -1,0 +1,45 @@
+"""Multi-stage DSWP pipelines on N-core CMPs.
+
+The paper evaluates its communication design points on a dual-core machine,
+but frames synchronization scalability — distributed occupancy counters vs.
+memory flags, a shared bus vs. a dedicated interconnect — as the axis that
+decides how streaming support extends beyond two cores.  This package makes
+the n > 2 regime reachable:
+
+* :mod:`repro.pipeline.partition` — :func:`partition_loop_k` chain-decomposes
+  the dependence DAG into K balanced stages (generalizing the two-stage cut
+  of :mod:`repro.dswp.partition`);
+* :mod:`repro.pipeline.codegen` — :func:`lower_pipeline` emits one thread per
+  stage, connected by per-adjacent-pair queues with relay forwarding for
+  values used more than one stage downstream;
+* :mod:`repro.pipeline.scaling` — the ``pipeline_scaling`` experiment sweeps
+  stage counts across the four design points and reports speedup, per-hop
+  COMM-OP delay, and shared-bus utilization.
+
+A two-stage pipeline lowered through this package is instruction-for-
+instruction identical to :func:`repro.dswp.codegen.lower_partition`'s
+output, so every existing dual-core exhibit is unchanged.
+"""
+
+from repro.pipeline.codegen import lower_pipeline, plan_queue_hops
+from repro.pipeline.partition import partition_loop_k
+from repro.pipeline.scaling import (
+    PIPELINE_BENCHMARKS,
+    SCALING_POINTS,
+    STAGE_COUNTS,
+    build_pipeline,
+    build_pipeline_partition,
+    pipeline_scaling,
+)
+
+__all__ = [
+    "PIPELINE_BENCHMARKS",
+    "SCALING_POINTS",
+    "STAGE_COUNTS",
+    "build_pipeline",
+    "build_pipeline_partition",
+    "lower_pipeline",
+    "partition_loop_k",
+    "pipeline_scaling",
+    "plan_queue_hops",
+]

@@ -1,0 +1,159 @@
+"""K-stage DSWP partitioning: chain-decomposing the dependence DAG.
+
+:func:`repro.dswp.partition.partition_loop` cuts the SCC condensation in
+two.  For an N-core pipeline we instead *chain-decompose* it: fix one
+deterministic topological order of the SCCs and split it into K contiguous,
+non-empty segments, one per stage.  Because every DAG edge points forward
+in a topological order, any such split assigns each dependence a
+non-decreasing stage — the generalized DSWP invariant
+(:meth:`repro.dswp.partition.Partition.validate`) holds by construction.
+
+The boundary search is exact over all ``C(n-1, K-1)`` contiguous splits
+for the condensation sizes in the suite (every loop is well under
+:data:`_EXHAUSTIVE_SCC_LIMIT` SCCs); larger condensations fall back to a
+greedy weight-quantile split.  Scoring mirrors the two-stage search, with
+the communication term generalized to count *hops*: a value defined in
+stage ``i`` and last used in stage ``j`` is relayed through every
+intermediate stage, costing one produce/consume pair per iteration per
+boundary crossed (see :func:`repro.pipeline.codegen.plan_queue_hops`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dswp.graph import condense, topological_order
+from repro.dswp.ir import Loop
+from repro.dswp.partition import (
+    Partition,
+    PartitionError,
+    build_dependence_graph,
+)
+
+#: Condensations at or below this many SCCs get an exact boundary search
+#: (matches the exhaustive limit of the two-stage cut search).
+_EXHAUSTIVE_SCC_LIMIT = 14
+
+
+def crossing_values_k(loop: Loop, stage_of: Dict[str, int]) -> Tuple[str, ...]:
+    """Values used in a later stage than their definition, in body order."""
+    crossing = set()
+    for op in loop.body:
+        for dep in op.deps + op.carried_deps:
+            if stage_of[dep] < stage_of[op.op_id]:
+                crossing.add(dep)
+    return tuple(op.op_id for op in loop.body if op.op_id in crossing)
+
+
+def _hop_count(loop: Loop, stage_of: Dict[str, int]) -> int:
+    """Queue items moved per iteration, counting one per boundary crossed."""
+    last_use: Dict[str, int] = {}
+    for op in loop.body:
+        for dep in op.deps + op.carried_deps:
+            if stage_of[dep] < stage_of[op.op_id]:
+                last_use[dep] = max(
+                    last_use.get(dep, 0), stage_of[op.op_id]
+                )
+    return sum(
+        loop.op(v).repeat * (last - stage_of[v]) for v, last in last_use.items()
+    )
+
+
+def _greedy_boundaries(weights: Sequence[float], n_stages: int) -> Tuple[int, ...]:
+    """Weight-quantile split for condensations too large to enumerate."""
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    boundaries: List[int] = []
+    for stage in range(1, n_stages):
+        target = total * stage / n_stages
+        cut = bisect_right(cumulative, target)
+        # Keep every segment non-empty: each boundary must advance past the
+        # previous one and leave room for the remaining stages.
+        low = (boundaries[-1] if boundaries else 0) + 1
+        high = len(weights) - (n_stages - stage)
+        boundaries.append(min(max(cut, low), high))
+    return tuple(boundaries)
+
+
+def partition_loop_k(
+    loop: Loop, n_stages: int, comm_cost_weight: float = 1.0
+) -> Partition:
+    """Split ``loop`` into a ``n_stages``-stage pipeline.
+
+    Args:
+        n_stages: Pipeline stage (thread) count; must be at least 2.
+        comm_cost_weight: Estimated cycles charged per queue item moved per
+            iteration when scoring splits (one charge per boundary a value
+            crosses — relays through middle stages are paid for).
+
+    Returns a :class:`~repro.dswp.partition.Partition` whose ``stage_of``
+    ranges over ``0..n_stages-1`` with every stage non-empty.
+
+    Raises:
+        PartitionError: When the condensation has fewer than ``n_stages``
+            SCCs (the recurrences cannot fill that many stages).
+        ValueError: When ``n_stages < 2``.
+    """
+    if n_stages < 2:
+        raise ValueError(f"n_stages must be at least 2, got {n_stages}")
+    graph = build_dependence_graph(loop)
+    dag, op_to_scc, sccs = condense(graph)
+    if len(sccs) < n_stages:
+        raise PartitionError(
+            f"loop {loop.name!r} condenses to {len(sccs)} SCC(s); "
+            f"cannot form {n_stages} non-empty pipeline stages"
+        )
+    order = topological_order(dag)
+    n = len(order)
+    weights = [
+        sum(loop.op(op_id).est_weight for op_id in sccs[scc_id])
+        for scc_id in order
+    ]
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+    position = {scc_id: i for i, scc_id in enumerate(order)}
+    op_pos = {op.op_id: position[op_to_scc[op.op_id]] for op in loop.body}
+
+    def stage_map(boundaries: Tuple[int, ...]) -> Dict[str, int]:
+        return {
+            op_id: bisect_right(boundaries, pos) for op_id, pos in op_pos.items()
+        }
+
+    best_boundaries, best_score = None, (float("inf"), float("inf"), ())
+
+    def consider(boundaries: Tuple[int, ...]) -> None:
+        nonlocal best_boundaries, best_score
+        edges = (0,) + boundaries + (n,)
+        bottleneck = max(
+            prefix[edges[s + 1]] - prefix[edges[s]] for s in range(n_stages)
+        )
+        comm = _hop_count(loop, stage_map(boundaries))
+        # Primary: estimated bottleneck stage time + per-iteration COMM-OP
+        # cost (as in the two-stage search).  Tie-breaks: the flatter
+        # pipeline, then the boundary tuple for determinism.
+        score = (bottleneck + comm_cost_weight * comm, bottleneck, boundaries)
+        if score < best_score:
+            best_score = score
+            best_boundaries = boundaries
+
+    if n <= _EXHAUSTIVE_SCC_LIMIT:
+        for boundaries in combinations(range(1, n), n_stages - 1):
+            consider(boundaries)
+    else:
+        consider(_greedy_boundaries(weights, n_stages))
+    assert best_boundaries is not None  # n >= n_stages guarantees a split
+    stage_of = stage_map(best_boundaries)
+    partition = Partition(
+        loop=loop,
+        stage_of=stage_of,
+        crossing_values=crossing_values_k(loop, stage_of),
+    )
+    partition.validate()
+    return partition

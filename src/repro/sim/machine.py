@@ -105,8 +105,10 @@ class Machine:
         self._ran = True
         if program.n_threads > self.config.n_cores:
             raise ValueError(
-                f"program has {program.n_threads} threads but the machine "
-                f"has {self.config.n_cores} cores"
+                f"program {program.name!r} has {program.n_threads} threads "
+                f"but the machine has only {self.config.n_cores} cores; "
+                f"build it with MachineConfig(n_cores={program.n_threads}) "
+                f"or config.copy(n_cores={program.n_threads}) to run it"
             )
         for queue_id, (producer, consumer) in program.queue_endpoints.items():
             ch = self.channel(queue_id)

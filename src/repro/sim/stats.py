@@ -198,13 +198,17 @@ class RunStats:
 
     @property
     def producer(self) -> ThreadStats:
-        """Thread 0 by convention (DSWP stage 1)."""
+        """Thread 0 by convention (the pipeline's first stage)."""
         return self.thread(0)
 
     @property
     def consumer(self) -> ThreadStats:
-        """Thread 1 by convention (DSWP stage 2)."""
-        return self.thread(1)
+        """Highest-numbered thread by convention (the pipeline's last stage).
+
+        Thread 1 for the paper's two-stage partitions; the terminal stage
+        for the K-stage pipelines of :mod:`repro.pipeline`.
+        """
+        return self.thread(max(t.thread_id for t in self.threads))
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -117,6 +117,61 @@ class TestPartitioning:
         narrow = partition_loop(loop, comm_cost_weight=10.0)
         assert len(narrow.crossing_values) == 1
 
+    def test_single_op_loop_rejected(self):
+        """One op is one SCC: nothing to pipeline."""
+        loop = Loop("one", [Op("only", OpKind.IALU, carried_deps=("only",))])
+        with pytest.raises(PartitionError, match="single recurrence"):
+            partition_loop(loop)
+
+    def test_all_ops_in_one_scc_rejected(self):
+        """A loop-spanning recurrence collapses the condensation to one node."""
+        loop = Loop(
+            "ring",
+            [
+                Op("x", OpKind.IALU, carried_deps=("z",)),
+                Op("y", OpKind.FALU, deps=("x",)),
+                Op("z", OpKind.IALU, deps=("y",)),
+            ],
+        )
+        with pytest.raises(PartitionError, match="single recurrence"):
+            partition_loop(loop)
+
+    def test_comm_weight_zero_picks_most_balanced_cut(self):
+        """With free communication only the bottleneck weight matters."""
+        loop = Loop(
+            "diamond",
+            [
+                Op("src", OpKind.IALU),
+                Op("m1", OpKind.IALU, deps=("src",)),
+                Op("m2", OpKind.IALU, deps=("src",)),
+                Op("m3", OpKind.IALU, deps=("src",)),
+                Op("m4", OpKind.IALU, deps=("src",)),
+                Op("sink", OpKind.FALU, deps=("m1", "m2", "m3", "m4"),
+                   carried_deps=("sink",)),
+            ],
+        )
+        p = partition_loop(loop, comm_cost_weight=0.0)
+        assert abs(p.stage_weight(0) - p.stage_weight(1)) <= 1.0
+        # The balanced cut is wide — several middles cross to the sink.
+        assert len(p.crossing_values) > 1
+
+    def test_comm_weight_dominant_picks_narrowest_cut(self):
+        """A huge comm weight accepts imbalance to cross a single value."""
+        loop = Loop(
+            "diamond",
+            [
+                Op("src", OpKind.IALU),
+                Op("m1", OpKind.IALU, deps=("src",)),
+                Op("m2", OpKind.IALU, deps=("src",)),
+                Op("m3", OpKind.IALU, deps=("src",)),
+                Op("m4", OpKind.IALU, deps=("src",)),
+                Op("sink", OpKind.FALU, deps=("m1", "m2", "m3", "m4"),
+                   carried_deps=("sink",)),
+            ],
+        )
+        p = partition_loop(loop, comm_cost_weight=1000.0)
+        assert p.crossing_values == ("src",)
+
     def test_comm_ops_per_iteration_counts_repeat(self):
         loop = Loop(
             "rep",

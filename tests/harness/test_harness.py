@@ -103,6 +103,7 @@ class TestExperimentPlumbing:
             "figure10",
             "figure11",
             "figure12",
+            "pipeline_scaling",
         }
 
     def test_figure8_small_scale(self):

@@ -1,0 +1,84 @@
+"""The pipeline_scaling experiment: structure, metrics, and the paper trend."""
+
+import pytest
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.pipeline.scaling import pipeline_scaling
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return pipeline_scaling(
+        scale=0.1,
+        benchmarks=("wc",),
+        stage_counts=(2, 3),
+        design_points=("EXISTING", "HEAVYWT"),
+    )
+
+
+class TestStructure:
+    def test_registered_experiment(self):
+        assert "pipeline_scaling" in ALL_EXPERIMENTS
+
+    def test_grids_complete_and_clean(self, small_result):
+        data = small_result.data
+        assert not small_result.failures
+        for point in ("EXISTING", "HEAVYWT"):
+            for k in (2, 3):
+                assert data["speedup"][point]["wc"][k] > 0
+                assert data["geomean_speedup"][point][k] > 0
+                assert 0.0 <= data["bus_utilization"][point]["wc"][k] <= 1.0
+                assert data["comm_op_delay"][point][k] is not None
+
+    def test_hop_delays_cover_every_hop(self, small_result):
+        # A 3-stage wc pipeline has hops sourced at stages 0 and 1.
+        hops = small_result.data["hop_delays"]["HEAVYWT"]["wc"][3]
+        assert set(hops) == {0, 1}
+
+    def test_text_renders_tables(self, small_result):
+        assert "Pipeline scaling" in small_result.text
+        assert "GeoMean" in small_result.text
+        assert "Bus util" in small_result.text
+
+
+class TestCommunicationCosts:
+    def test_software_queues_cost_orders_more_per_op(self, small_result):
+        delays = small_result.data["comm_op_delay"]
+        for k in (2, 3):
+            assert delays["EXISTING"][k] > 10 * delays["HEAVYWT"][k]
+
+    def test_software_queues_load_the_shared_bus(self, small_result):
+        util = small_result.data["mean_bus_utilization"]
+        for k in (2, 3):
+            assert util["EXISTING"][k] > util["HEAVYWT"][k]
+
+
+class TestPaperTrend:
+    """The acceptance-criteria shape, at reduced scale for test budget."""
+
+    @pytest.fixture(scope="class")
+    def trend(self):
+        return pipeline_scaling(
+            scale=0.25,
+            benchmarks=("wc", "adpcmdec"),
+            stage_counts=(2, 8),
+            design_points=("EXISTING", "SYNCOPTI", "HEAVYWT"),
+        )
+
+    def test_heavywt_keeps_scaling(self, trend):
+        gm = trend.data["geomean_speedup"]["HEAVYWT"]
+        assert gm[8] > gm[2] * 1.1
+
+    def test_existing_saturates(self, trend):
+        gm = trend.data["geomean_speedup"]["EXISTING"]
+        assert gm[8] < gm[2] * 1.05
+
+    def test_syncopti_stays_ahead_of_existing(self, trend):
+        data = trend.data["geomean_speedup"]
+        for k in (2, 8):
+            assert data["SYNCOPTI"][k] > 2 * data["EXISTING"][k]
+
+    def test_existing_comm_bill_grows_with_depth(self, trend):
+        """Per-op software-queue cost does not shrink as hops multiply."""
+        delays = trend.data["comm_op_delay"]
+        assert delays["EXISTING"][8] > delays["HEAVYWT"][8] * 10

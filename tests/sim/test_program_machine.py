@@ -62,6 +62,26 @@ class TestMachine:
         stats = run_program(baseline_config(), "heavywt", prog)
         assert stats.threads[0].app_instructions == 1
 
+    def test_too_many_threads_error_names_program_and_fix(self):
+        prog = Program(
+            "triple-stage", [empty_thread(f"t{i}") for i in range(3)]
+        )
+        m = Machine(baseline_config(), mechanism="heavywt")
+        with pytest.raises(ValueError) as excinfo:
+            m.run(prog)
+        message = str(excinfo.value)
+        assert "triple-stage" in message
+        assert "3 threads" in message
+        assert "n_cores=3" in message
+
+    def test_enough_cores_accepts_wide_program(self):
+        prog = Program(
+            "triple-stage", [empty_thread(f"t{i}") for i in range(3)]
+        )
+        m = Machine(baseline_config().copy(n_cores=3), mechanism="heavywt")
+        stats = m.run(prog)
+        assert len(stats.threads) == 3
+
     def test_endpoints_applied_to_channels(self):
         def producer():
             yield isa.ialu(1)
