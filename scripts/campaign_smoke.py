@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Crash/resume smoke for the campaign runner — the CI acceptance drill.
+
+The drill:
+
+1. launch ``python -m repro campaign run --grid smoke --jobs 2`` as a
+   subprocess;
+2. SIGKILL it as soon as the ledger shows the first completed cell —
+   a genuine mid-campaign crash, workers and all;
+3. confirm ``campaign status`` reports the ledger incomplete;
+4. ``campaign resume`` the same grid against the same ledger;
+5. assert the grid is now complete, every cell is ``done``, and — the
+   point of the ledger — every cell has exactly ONE cell-end record:
+   resume never re-ran work that had already finished.
+
+Exits 0 on success, 1 with a diagnosis on any violated property.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from collections import Counter
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.harness.campaign import CampaignLedger, campaign_status  # noqa: E402
+
+#: Scale for the smoke grid: big enough that 8 cells take several seconds
+#: total, so the SIGKILL reliably lands mid-campaign.
+SCALE = "8"
+POLL_S = 0.05
+LAUNCH_TIMEOUT_S = 120
+
+
+def _campaign(ledger: str, command: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", command,
+            "--grid", "smoke", "--ledger", ledger,
+            "--scale", SCALE, "--jobs", "2",
+        ],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _cell_ends(ledger: str) -> Counter:
+    ends = Counter()
+    if os.path.exists(ledger):
+        for rec in CampaignLedger.read(ledger):
+            if rec.get("event") == "cell-end" and rec.get("terminal"):
+                ends[rec["cell"]] += 1
+    return ends
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ledger = os.environ.get("CAMPAIGN_SMOKE_LEDGER") or os.path.join(
+        tempfile.mkdtemp(prefix="campaign-smoke-"), "ledger.jsonl"
+    )
+    print(f"ledger: {ledger}")
+
+    # -- 1+2: run, and SIGKILL at the first completed cell -------------
+    proc = _campaign(ledger, "run")
+    deadline = time.monotonic() + LAUNCH_TIMEOUT_S
+    while not _cell_ends(ledger):
+        if proc.poll() is not None:
+            fail(
+                "campaign finished before we could kill it — "
+                f"output:\n{proc.stdout.read()}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            fail("no cell completed within the launch timeout")
+        time.sleep(POLL_S)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    done_at_kill = set(_cell_ends(ledger))
+    print(f"killed campaign mid-flight with {len(done_at_kill)} cell(s) done")
+
+    # -- 3: the ledger must say so -------------------------------------
+    status = campaign_status(ledger)
+    if status["complete"]:
+        fail("status claims the grid is complete right after a mid-flight kill")
+    print(
+        f"status after kill: {status['by_status']} "
+        f"(in-flight: {len(status['in_flight'])})"
+    )
+
+    # -- 4: resume ------------------------------------------------------
+    proc = _campaign(ledger, "resume")
+    out, _ = proc.communicate(timeout=LAUNCH_TIMEOUT_S * 4)
+    if proc.returncode != 0:
+        fail(f"campaign resume exited {proc.returncode} — output:\n{out}")
+    print(out.strip().splitlines()[-1])
+
+    # -- 5: complete, all done, zero re-runs ----------------------------
+    status = campaign_status(ledger)
+    if not status["complete"]:
+        fail(f"grid still incomplete after resume: {status['by_status']}")
+    if set(status["by_status"]) != {"done"}:
+        fail(f"unexpected terminal statuses: {status['by_status']}")
+    ends = _cell_ends(ledger)
+    rerun = {cell: n for cell, n in ends.items() if n != 1}
+    if rerun:
+        fail(f"cells with != 1 terminal record (re-runs!): {rerun}")
+    if not done_at_kill <= set(ends):
+        fail("cells done at kill time vanished from the final ledger")
+    print(
+        f"OK: {len(ends)} cells complete, "
+        f"{len(done_at_kill)} pre-kill cell(s) untouched by resume"
+    )
+
+
+if __name__ == "__main__":
+    main()

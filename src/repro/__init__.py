@@ -38,7 +38,9 @@ Quickstart::
 
 from repro.core.design_points import (
     DESIGN_POINTS,
+    OVERRIDE_KNOBS,
     DesignPoint,
+    apply_overrides,
     get_design_point,
     with_bus_latency,
     with_bus_width,
@@ -47,11 +49,29 @@ from repro.core.design_points import (
     with_transit_delay,
 )
 from repro.core.mechanism import available_mechanisms, create_mechanism
-from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.faults import (
+    FailureClass,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    classify_outcome,
+)
+from repro.harness.campaign import (
+    CampaignCell,
+    CampaignLedger,
+    CampaignPolicy,
+    CampaignReport,
+    campaign_status,
+    execute_cell,
+    run_campaign,
+    run_cells,
+)
 from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, run_all, sweep
 from repro.harness.runner import (
     FailedRun,
+    RunOutcome,
     RunResult,
+    TimedOutRun,
     run_benchmark,
     run_benchmark_resilient,
     run_single_threaded,
@@ -64,7 +84,12 @@ from repro.pipeline import (
     pipeline_scaling,
 )
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.cosim import DeadlockError, SimulationError, SimulationLimitError
+from repro.sim.cosim import (
+    DeadlockError,
+    SimulationError,
+    SimulationLimitError,
+    WallClockExceededError,
+)
 from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine, run_program
 from repro.sim.program import Program, ThreadProgram
@@ -102,12 +127,18 @@ __all__ = [
     "BENCHMARK_ORDER",
     "COMM_OP_POINTS",
     "DESIGN_POINTS",
+    "OVERRIDE_KNOBS",
+    "CampaignCell",
+    "CampaignLedger",
+    "CampaignPolicy",
+    "CampaignReport",
     "CommOpProfiler",
     "CommOpReport",
     "DeadlockError",
     "DesignPoint",
     "ExperimentResult",
     "FailedRun",
+    "FailureClass",
     "FaultKind",
     "FaultPlan",
     "FaultRule",
@@ -115,17 +146,23 @@ __all__ = [
     "MachineConfig",
     "PostMortem",
     "Program",
+    "RunOutcome",
     "RunResult",
     "RunStats",
     "SimulationError",
     "SimulationLimitError",
     "ThreadProgram",
     "ThreadStats",
+    "TimedOutRun",
     "TraceBuffer",
     "TraceConfig",
     "TraceEvent",
+    "WallClockExceededError",
+    "apply_overrides",
     "available_mechanisms",
     "baseline_config",
+    "campaign_status",
+    "classify_outcome",
     "build_partition",
     "build_pipeline",
     "build_pipeline_partition",
@@ -135,6 +172,7 @@ __all__ = [
     "check_bus_utilization",
     "check_occupancy",
     "create_mechanism",
+    "execute_cell",
     "geomean",
     "get_design_point",
     "lower_pipeline",
@@ -146,6 +184,8 @@ __all__ = [
     "run_all",
     "run_benchmark",
     "run_benchmark_resilient",
+    "run_campaign",
+    "run_cells",
     "run_program",
     "run_single_threaded",
     "sweep",

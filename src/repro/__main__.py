@@ -5,7 +5,11 @@ Examples::
     python -m repro list
     python -m repro run figure7 --scale 0.25
     python -m repro run table1 pipeline_scaling
-    python -m repro run all --scale 0.1
+    python -m repro run all --scale 0.1 --jobs 4
+
+    python -m repro campaign run --grid figure7 --ledger fig7.jsonl --jobs 4
+    python -m repro campaign status --ledger fig7.jsonl
+    python -m repro campaign resume --grid figure7 --ledger fig7.jsonl --jobs 4
 """
 
 from __future__ import annotations
@@ -16,6 +20,11 @@ from typing import List, Optional
 
 from repro.harness.experiments import ALL_EXPERIMENTS
 
+#: Named campaign grids ``campaign run`` can build.  ``resume`` rebuilds the
+#: same grid (cells never started leave no spec in the ledger, so the grid
+#: definition — not the ledger — is the source of truth for what to run).
+CAMPAIGN_GRIDS = ("figure7", "figure12", "pipeline", "smoke")
+
 
 def _first_doc_line(fn) -> str:
     doc = fn.__doc__ or ""
@@ -24,6 +33,58 @@ def _first_doc_line(fn) -> str:
         if line:
             return line
     return ""
+
+
+def _campaign_grid(name: str, scale: float):
+    """Build the named grid's campaign cells."""
+    from repro.core.design_points import FIGURE7_ORDER, FIGURE12_ORDER
+    from repro.harness.campaign import CampaignCell
+    from repro.harness.experiments import EXPERIMENT_TRIPS
+    from repro.pipeline.scaling import PIPELINE_BENCHMARKS, SCALING_POINTS
+    from repro.workloads.suite import BENCHMARK_ORDER
+
+    def trips(bench: str) -> int:
+        return max(32, int(EXPERIMENT_TRIPS[bench] * scale))
+
+    if name == "figure7":
+        return [
+            CampaignCell(benchmark=b, design_point=p, trip_count=trips(b))
+            for b in BENCHMARK_ORDER
+            for p in FIGURE7_ORDER
+        ]
+    if name == "figure12":
+        return [
+            CampaignCell(benchmark=b, design_point=p, trip_count=trips(b))
+            for b in BENCHMARK_ORDER
+            for p in FIGURE12_ORDER
+        ]
+    if name == "pipeline":
+        cells = [
+            CampaignCell(benchmark=b, kind="single", trip_count=trips(b))
+            for b in PIPELINE_BENCHMARKS
+        ]
+        cells += [
+            CampaignCell(
+                benchmark=b,
+                design_point=p,
+                kind="pipeline",
+                stages=k,
+                trip_count=trips(b),
+            )
+            for b in PIPELINE_BENCHMARKS
+            for k in (2, 4)
+            for p in SCALING_POINTS
+        ]
+        return cells
+    if name == "smoke":
+        return [
+            CampaignCell(
+                benchmark=b, design_point=p, trip_count=max(32, int(64 * scale))
+            )
+            for b in ("wc", "fir")
+            for p in FIGURE7_ORDER
+        ]
+    raise KeyError(f"unknown campaign grid {name!r}; known: {CAMPAIGN_GRIDS}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,7 +114,107 @@ def _build_parser() -> argparse.ArgumentParser:
             "it; use e.g. 0.1 for a quick smoke)"
         ),
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for each experiment's grid (1 = serial "
+            "in-process, the default)"
+        ),
+    )
+
+    camp = sub.add_parser(
+        "campaign",
+        help=(
+            "resilient campaign runner: worker pool, watchdog timeouts, "
+            "retries, and a crash-safe resume ledger"
+        ),
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+    crun = csub.add_parser(
+        "run", help="run a named grid, recording every attempt in the ledger"
+    )
+    cresume = csub.add_parser(
+        "resume",
+        help=(
+            "replay the ledger, skip completed cells, re-queue in-flight "
+            "ones, and finish the grid"
+        ),
+    )
+    for p in (crun, cresume):
+        p.add_argument(
+            "--grid",
+            default="figure7",
+            choices=CAMPAIGN_GRIDS,
+            help="named cell grid to run (default: figure7)",
+        )
+        p.add_argument(
+            "--ledger",
+            required=True,
+            help="JSONL ledger path (one record per cell attempt)",
+        )
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument(
+            "--jobs", type=int, default=1, help="worker processes (default 1)"
+        )
+        p.add_argument(
+            "--budget",
+            type=float,
+            default=None,
+            help="wall-clock seconds per cell attempt (default: no watchdog)",
+        )
+        p.add_argument(
+            "--max-attempts",
+            type=int,
+            default=3,
+            help="attempts per cell; only transient failures retry (default 3)",
+        )
+        p.add_argument(
+            "--recheck",
+            action="store_true",
+            help=(
+                "re-run cells already recorded done and verify their "
+                "determinism fingerprints against the ledger's golden values"
+            ),
+        )
+    cstatus = csub.add_parser("status", help="summarize a campaign ledger")
+    cstatus.add_argument("--ledger", required=True)
     return parser
+
+
+def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
+    from repro.harness.campaign import (
+        CampaignPolicy,
+        campaign_status,
+        render_status,
+        run_campaign,
+    )
+
+    if args.campaign_command == "status":
+        status = campaign_status(args.ledger)
+        print(render_status(status))
+        return 0 if status["complete"] else 1
+
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    cells = _campaign_grid(args.grid, args.scale)
+    policy = CampaignPolicy(
+        jobs=args.jobs,
+        wall_clock_budget=args.budget,
+        max_attempts=args.max_attempts,
+        recheck=args.recheck,
+    )
+    report = run_campaign(
+        cells,
+        policy,
+        ledger_path=args.ledger,
+        resume=args.campaign_command == "resume",
+        progress=print,
+    )
+    print(report.summary())
+    ok = report.n_failed == 0 and not report.mismatches
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -64,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, fn in ALL_EXPERIMENTS.items():
             print(f"{name:<{width}}  {_first_doc_line(fn)}")
         return 0
+    if args.command == "campaign":
+        return _campaign_main(parser, args)
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -76,10 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     failed = 0
     for name in names:
         fn = ALL_EXPERIMENTS[name]
-        result = fn() if name.startswith("table") else fn(args.scale)
+        result = fn() if name.startswith("table") else fn(args.scale, jobs=args.jobs)
         print(result.text)
         print()
         failed += len(result.failures)

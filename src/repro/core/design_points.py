@@ -202,3 +202,35 @@ def with_n_cores(config: MachineConfig, n_cores: int) -> MachineConfig:
     """
     out = config.copy(n_cores=n_cores)
     return out.validate()
+
+
+#: The declarative override vocabulary: name -> config transform.  Campaign
+#: cells carry plain ``{name: value}`` dicts (JSON-serializable, picklable
+#: across worker processes, hashable into cell keys) instead of closures;
+#: this table is the single mapping both the serial and pooled grid paths
+#: apply, so a cell means the same machine either way.
+OVERRIDE_KNOBS = {
+    "transit_delay": with_transit_delay,
+    "queue_depth": with_queue_depth,
+    "bus_latency": with_bus_latency,
+    "bus_width": with_bus_width,
+    "n_cores": with_n_cores,
+}
+
+
+def apply_overrides(config: MachineConfig, overrides) -> MachineConfig:
+    """Apply a declarative ``{knob: value}`` mapping via the ``with_*`` helpers.
+
+    Knobs are applied in :data:`OVERRIDE_KNOBS` order (not dict order) so a
+    cell's machine is independent of how its overrides dict was built.
+    """
+    for name, transform in OVERRIDE_KNOBS.items():
+        if name in overrides:
+            config = transform(config, overrides[name])
+    unknown = set(overrides) - set(OVERRIDE_KNOBS)
+    if unknown:
+        raise KeyError(
+            f"unknown override knob(s) {sorted(unknown)}; "
+            f"known: {sorted(OVERRIDE_KNOBS)}"
+        )
+    return config

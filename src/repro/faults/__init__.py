@@ -1,5 +1,22 @@
-"""Deterministic fault injection for robustness studies (see plan.py)."""
+"""Deterministic fault injection for robustness studies (see plan.py), plus
+the transient-vs-deterministic failure classification the campaign runner's
+retry policy is built on (see classify.py)."""
 
+from repro.faults.classify import (
+    TRANSIENT_ERROR_TYPES,
+    FailureClass,
+    classify_error_type,
+    classify_outcome,
+)
 from repro.faults.plan import FaultInjection, FaultKind, FaultPlan, FaultRule
 
-__all__ = ["FaultInjection", "FaultKind", "FaultPlan", "FaultRule"]
+__all__ = [
+    "TRANSIENT_ERROR_TYPES",
+    "FailureClass",
+    "FaultInjection",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "classify_error_type",
+    "classify_outcome",
+]

@@ -1,0 +1,67 @@
+"""Transient-vs-deterministic classification of failed experiment cells.
+
+The simulator is deterministic end to end: every fault-injection decision is
+drawn from :class:`~repro.faults.plan.FaultPlan`'s seeded per-event RNG, the
+scheduler breaks ties in core-id order, and no global randomness is
+consumed.  That guarantee cuts the failure space cleanly in two:
+
+* **Deterministic** — failures produced *by the simulation itself*
+  (deadlock, step-limit overrun, config/usage errors surfaced inside a
+  worker).  Re-running the cell with the same seed replays the exact same
+  event sequence, so a retry is guaranteed to fail identically: the
+  campaign runner fails these fast and keeps the diagnosis.
+
+* **Transient** — failures produced *by the host*: a wall-clock watchdog
+  kill (:class:`~repro.harness.runner.TimedOutRun`), or a worker process
+  that died without reporting (OOM kill, operator signal).  These depend on
+  machine load, not on the simulated program, so the campaign runner retries
+  them with seeded exponential backoff.
+
+The classifier keys on ``error_type`` strings rather than exception classes
+because the campaign ledger round-trips outcomes through JSON — a resumed
+campaign must classify a record read from disk exactly as it classified the
+live outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+#: ``error_type`` values describing host-side interference; anything else
+#: came out of the deterministic simulation (or deterministic user error).
+TRANSIENT_ERROR_TYPES = frozenset(
+    {
+        "WallClockExceededError",  # in-process watchdog fired
+        "TimedOutRun",  # hard kill by the pool watchdog
+        "WorkerDiedError",  # worker exited without reporting an outcome
+    }
+)
+
+
+class FailureClass(enum.Enum):
+    """Retry verdict for one failed cell attempt."""
+
+    #: Host-side interference: retrying may succeed.
+    TRANSIENT = "transient"
+    #: Simulation-side failure: the seeded replay will fail identically.
+    DETERMINISTIC = "deterministic"
+
+
+def classify_error_type(error_type: str) -> FailureClass:
+    """Classify a failure by its ``error_type`` string (ledger-stable)."""
+    if error_type in TRANSIENT_ERROR_TYPES:
+        return FailureClass.TRANSIENT
+    return FailureClass.DETERMINISTIC
+
+
+def classify_outcome(outcome) -> Optional[FailureClass]:
+    """Classify a :data:`~repro.harness.runner.RunOutcome`.
+
+    Returns ``None`` for successful runs, :attr:`FailureClass.TRANSIENT`
+    for watchdog kills and dead workers, and
+    :attr:`FailureClass.DETERMINISTIC` for simulation diagnoses.
+    """
+    if outcome.ok:
+        return None
+    return classify_error_type(outcome.error_type)

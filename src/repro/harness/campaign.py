@@ -1,0 +1,978 @@
+"""Resilient parallel experiment campaigns: pool, watchdog, retries, ledger.
+
+The paper's evaluation is a large grid — benchmarks x design points x
+sensitivity knobs, multiplied by the pipeline study's stage counts — and a
+serial in-process sweep has two failure amplifiers: one wedged simulation
+(exactly the hang mode a seeded ``QUEUE_SLOT_STALL`` fault can inject into
+the EXISTING spin loop) stalls every cell behind it, and one crash throws
+away every cell already computed.  This module makes each cell a *bounded,
+retryable, durably-recorded unit of work*:
+
+* **Cells** (:class:`CampaignCell`) are declarative: benchmark, design
+  point, trip count, a ``{knob: value}`` overrides dict (see
+  :data:`repro.core.design_points.OVERRIDE_KNOBS`), and an optional seeded
+  :class:`~repro.faults.plan.FaultPlan`.  A cell's identity is a stable
+  hash of that spec, so the same grid built twice names the same cells.
+
+* **Worker pool**: up to ``jobs`` worker processes run cells concurrently
+  (:func:`run_campaign`).  Workers are single-use — one process per cell
+  attempt — so a kill can never poison a sibling cell's interpreter state.
+
+* **Watchdog**: every attempt gets a wall-clock budget, enforced twice.
+  The *soft* layer runs inside the worker — the scheduler's own
+  :class:`~repro.sim.cosim.WallClockExceededError` check — so a timed-out
+  run still flushes its post-mortem and trace tail into a structured
+  :class:`~repro.harness.runner.TimedOutRun`.  The *hard* layer runs in the
+  pool: a worker that outlives budget + grace (wedged outside the scheduler
+  loop) is ``SIGKILL``-ed and recorded as a ``TimedOutRun(hard_kill=True)``.
+
+* **Retries**: transient failures (timeouts, dead workers — host-side
+  interference, per :mod:`repro.faults.classify`) are retried up to
+  ``max_attempts`` with seeded exponential backoff; deterministic failures
+  (deadlock/step-limit diagnoses, config errors) fail fast, because the
+  seeded simulator guarantees a retry would fail identically.
+
+* **Ledger**: every attempt appends one JSON record to an append-only JSONL
+  file (single ``write`` + ``fsync`` per record, so a crash can tear at
+  most the final line, which replay ignores).  ``campaign resume`` replays
+  the ledger, skips cells with a terminal record, and re-queues cells that
+  were in flight when the process died.
+
+* **Fingerprints**: each completed cell records
+  :meth:`~repro.sim.stats.RunStats.fingerprint`.  Re-running a recorded
+  cell (``recheck=True``) must reproduce the fingerprint byte for byte —
+  the simulator's determinism guarantee as a checked invariant, and a
+  golden-regression store for CI.
+
+The serial in-process path (:func:`execute_cell` cell by cell) remains the
+default everywhere — :mod:`repro.harness.experiments` only dispatches
+through the pool when asked for ``jobs > 1`` — so existing entry points and
+tests are untouched by the campaign machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.design_points import apply_overrides, get_design_point, with_n_cores
+from repro.faults.classify import FailureClass, classify_outcome
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.harness.runner import (
+    FailedRun,
+    RunOutcome,
+    RunResult,
+    TimedOutRun,
+    run_benchmark_resilient,
+    run_single_threaded,
+)
+from repro.sim.cosim import SimulationError, WallClockExceededError
+
+__all__ = [
+    "CampaignCell",
+    "CampaignLedger",
+    "CampaignPolicy",
+    "CampaignReport",
+    "CellHistory",
+    "campaign_status",
+    "execute_cell",
+    "fault_plan_from_spec",
+    "render_status",
+    "run_campaign",
+    "run_cells",
+]
+
+#: Ledger records cap multi-line diagnostics at this many characters so one
+#: post-mortem cannot balloon the campaign's append-only log.
+LEDGER_DETAIL_LIMIT = 8000
+
+#: Cell kinds the worker-side executor understands.
+CELL_KINDS = ("benchmark", "single", "pipeline")
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+
+
+def _fault_plan_spec(plan: Optional[FaultPlan]) -> Optional[Dict[str, object]]:
+    """JSON-able identity of a fault plan (seed + rules), or None."""
+    if plan is None:
+        return None
+    rules = []
+    for rule in plan.rules:
+        rules.append(
+            {
+                "kind": rule.kind.value,
+                "magnitude": rule.magnitude,
+                "probability": rule.probability,
+                "queue_id": rule.queue_id,
+                "core_id": rule.core_id,
+                "after": rule.after,
+                "count": rule.count,
+            }
+        )
+    return {"seed": plan.seed, "rules": rules}
+
+
+def fault_plan_from_spec(spec: Optional[Dict[str, object]]) -> Optional[FaultPlan]:
+    """Rebuild a :class:`FaultPlan` from :func:`_fault_plan_spec` output."""
+    if spec is None:
+        return None
+    rules = tuple(
+        FaultRule(
+            kind=FaultKind(r["kind"]),
+            magnitude=float(r["magnitude"]),
+            probability=float(r["probability"]),
+            queue_id=r["queue_id"],
+            core_id=r["core_id"],
+            after=int(r["after"]),
+            count=r["count"],
+        )
+        for r in spec["rules"]
+    )
+    return FaultPlan(seed=int(spec["seed"]), rules=rules).validate()
+
+
+@dataclass
+class CampaignCell:
+    """One bounded, retryable unit of campaign work.
+
+    Everything a worker needs to reproduce the run is plain data: cells
+    cross process boundaries by pickling and enter the ledger as JSON, and
+    two cells with the same spec always share the same :meth:`key` — the
+    property resume and fingerprint checking are built on.
+
+    Kinds:
+
+    * ``"benchmark"`` — the standard two-stage (benchmark, design point)
+      cell of the paper's grids, via :func:`run_benchmark_resilient`.
+    * ``"single"`` — the unpartitioned single-core baseline
+      (:func:`run_single_threaded`), used by Figure 9 and the scaling study.
+    * ``"pipeline"`` — a K-stage pipeline on K cores (``stages=K``) with
+      the scaling study's comm-trace instrumentation; per-hop delays and
+      bus utilization come back in ``RunResult.extras``.
+    """
+
+    benchmark: str
+    design_point: str = "HEAVYWT"
+    kind: str = "benchmark"
+    trip_count: Optional[int] = None
+    #: Declarative config deltas, applied via OVERRIDE_KNOBS in fixed order.
+    overrides: Dict[str, int] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = field(default=None, repr=False)
+    #: Pipeline depth for ``kind="pipeline"`` cells.
+    stages: Optional[int] = None
+
+    def validate(self) -> "CampaignCell":
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; known: {CELL_KINDS}")
+        if self.kind == "pipeline" and (self.stages is None or self.stages < 2):
+            raise ValueError("pipeline cells need stages >= 2")
+        if self.trip_count is not None and self.trip_count <= 0:
+            raise ValueError("trip_count must be positive (or None for default)")
+        return self
+
+    def spec(self) -> Dict[str, object]:
+        """Canonical plain-data identity (what :meth:`key` hashes)."""
+        return {
+            "benchmark": self.benchmark,
+            "design_point": self.design_point,
+            "kind": self.kind,
+            "trip_count": self.trip_count,
+            "overrides": dict(sorted(self.overrides.items())),
+            "fault_plan": _fault_plan_spec(self.fault_plan),
+            "stages": self.stages,
+        }
+
+    def key(self) -> str:
+        """Stable human-scannable id: ``bench/point[...]#spec-digest``."""
+        digest = hashlib.sha256(
+            json.dumps(self.spec(), sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()[:8]
+        label = f"{self.benchmark}/{self.design_point}"
+        if self.kind == "single":
+            label = f"{self.benchmark}/SINGLE"
+        elif self.kind == "pipeline":
+            label = f"{self.benchmark}/{self.design_point}/K{self.stages}"
+        return f"{label}#{digest}"
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "CampaignCell":
+        """Rebuild a cell from a ledger ``spec`` record."""
+        return cls(
+            benchmark=spec["benchmark"],
+            design_point=spec["design_point"],
+            kind=spec.get("kind", "benchmark"),
+            trip_count=spec.get("trip_count"),
+            overrides=dict(spec.get("overrides") or {}),
+            fault_plan=fault_plan_from_spec(spec.get("fault_plan")),
+            stages=spec.get("stages"),
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# In-process cell execution (shared by the serial path and the workers)
+# ----------------------------------------------------------------------
+
+
+def _build_config(cell: CampaignCell):
+    """The cell's machine config, or None to use the design point's own."""
+    if not cell.overrides and cell.fault_plan is None:
+        return None
+    cfg = get_design_point(cell.design_point).build_config()
+    cfg = apply_overrides(cfg, cell.overrides)
+    if cell.fault_plan is not None:
+        cfg.faults = cell.fault_plan
+    return cfg.validate()
+
+
+def _execute_single(cell: CampaignCell, budget: Optional[float]) -> RunOutcome:
+    try:
+        return run_single_threaded(
+            cell.benchmark, cell.trip_count, wall_clock_budget=budget
+        )
+    except WallClockExceededError as exc:
+        return TimedOutRun(
+            benchmark=cell.benchmark,
+            design_point="SINGLE",
+            budget=exc.budget,
+            elapsed=exc.elapsed,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+            post_mortem=exc.post_mortem,
+        )
+    except SimulationError as exc:
+        return FailedRun(
+            benchmark=cell.benchmark,
+            design_point="SINGLE",
+            error_type=type(exc).__name__,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+            post_mortem=exc.post_mortem,
+        )
+
+
+def _execute_pipeline(cell: CampaignCell, budget: Optional[float]) -> RunOutcome:
+    # Imported lazily: repro.pipeline.scaling reaches back into the harness,
+    # and the pipeline modules are only needed for pipeline-kind cells.
+    from repro.dswp.partition import PartitionError
+    from repro.pipeline.codegen import lower_pipeline, plan_queue_hops
+    from repro.pipeline.scaling import _per_hop_delay, build_pipeline_partition
+    from repro.sim.machine import Machine
+    from repro.trace.buffer import TraceConfig
+
+    point_label = f"{cell.design_point}/K={cell.stages}"
+    try:
+        partition = build_pipeline_partition(
+            cell.benchmark, cell.stages, cell.trip_count
+        )
+    except PartitionError as exc:
+        return FailedRun(
+            benchmark=cell.benchmark,
+            design_point=point_label,
+            error_type=type(exc).__name__,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+        )
+    program = lower_pipeline(partition)
+    dp = get_design_point(cell.design_point)
+    cfg = with_n_cores(dp.build_config(), cell.stages).copy(
+        trace=TraceConfig(capacity=1 << 20, categories=("comm",))
+    )
+    if cell.fault_plan is not None:
+        cfg.faults = cell.fault_plan
+        cfg.validate()
+    machine = Machine(cfg, mechanism=dp.mechanism)
+    try:
+        stats = machine.run(program, wall_clock_budget=budget)
+    except WallClockExceededError as exc:
+        return TimedOutRun(
+            benchmark=cell.benchmark,
+            design_point=point_label,
+            budget=exc.budget,
+            elapsed=exc.elapsed,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+            post_mortem=exc.post_mortem,
+        )
+    except SimulationError as exc:
+        return FailedRun(
+            benchmark=cell.benchmark,
+            design_point=point_label,
+            error_type=type(exc).__name__,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+            post_mortem=exc.post_mortem,
+        )
+    hop_of_queue = {qid: src for (_, src), qid in plan_queue_hops(partition).items()}
+    return RunResult(
+        benchmark=cell.benchmark,
+        design_point=cell.design_point,
+        cycles=stats.cycles,
+        stats=stats,
+        machine=machine,
+        trace=machine.trace,
+        extras={
+            "stages": cell.stages,
+            "hop_delays": _per_hop_delay(machine.trace, hop_of_queue),
+            "bus_utilization": machine.mem.bus.utilization(stats.cycles),
+        },
+    )
+
+
+def execute_cell(
+    cell: CampaignCell, wall_clock_budget: Optional[float] = None
+) -> RunOutcome:
+    """Run one cell in this process; the single executor both paths share.
+
+    The serial fallback calls this directly; pool workers call it inside
+    :func:`_cell_worker`.  One code path is what makes the pooled campaign's
+    cycle counts and fingerprints bit-identical to the serial sweep's.
+    """
+    cell.validate()
+    if cell.kind == "single":
+        return _execute_single(cell, wall_clock_budget)
+    if cell.kind == "pipeline":
+        return _execute_pipeline(cell, wall_clock_budget)
+    return run_benchmark_resilient(
+        cell.benchmark,
+        cell.design_point,
+        cell.trip_count,
+        config=_build_config(cell),
+        wall_clock_budget=wall_clock_budget,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _strip_for_transport(outcome: RunOutcome) -> RunOutcome:
+    """Drop the heavyweight machine/trace before crossing the pipe."""
+    if isinstance(outcome, RunResult):
+        outcome.machine = None
+        outcome.trace = None
+    return outcome
+
+
+def _cell_worker(conn, cell: CampaignCell, soft_budget: Optional[float]) -> None:
+    """Process entry point: run one cell attempt, send one outcome.
+
+    Usage errors (unknown names, config mismatches) intentionally raise out
+    of :func:`execute_cell`; here they are converted into *data* — a
+    :class:`FailedRun` with the full traceback — because an exception that
+    merely kills the worker would be indistinguishable from host-side
+    interference and get retried, hiding a deterministic bug.
+    """
+    try:
+        outcome = execute_cell(cell, wall_clock_budget=soft_budget)
+    except BaseException as exc:
+        outcome = FailedRun(
+            benchmark=cell.benchmark,
+            design_point=cell.design_point,
+            error_type=type(exc).__name__,
+            error=(str(exc).splitlines() or [type(exc).__name__])[0],
+            detail=traceback.format_exc(),
+        )
+    try:
+        conn.send(_strip_for_transport(outcome))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Ledger
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CellHistory:
+    """Replayed per-cell state of one ledger."""
+
+    key: str
+    attempts: int = 0
+    in_flight: bool = False
+    terminal: bool = False
+    status: Optional[str] = None
+    cycles: Optional[int] = None
+    fingerprint: Optional[str] = None
+    spec: Optional[Dict[str, object]] = None
+
+
+class CampaignLedger:
+    """Append-only JSONL record of every cell attempt of a campaign.
+
+    Crash safety: each record is one ``os.write`` of one full line to an
+    ``O_APPEND`` descriptor followed by ``fsync``, so a crash (or SIGKILL)
+    can lose at most the record being written — and a torn final line is
+    skipped by :meth:`read`, never mistaken for a terminal outcome.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fd: Optional[int] = None
+
+    def open(self) -> "CampaignLedger":
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def append(self, record: Dict[str, object]) -> None:
+        if self._fd is None:
+            self.open()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        os.fsync(self._fd)
+
+    # -- replay ---------------------------------------------------------
+
+    @staticmethod
+    def read(path: str) -> List[Dict[str, object]]:
+        """Parse every intact record; a torn final line is dropped."""
+        records: List[Dict[str, object]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1 or not lines[i + 1 :]:
+                    break  # torn tail from a crash mid-append
+                raise
+        return records
+
+    @staticmethod
+    def replay(path: str) -> Dict[str, CellHistory]:
+        """Fold a ledger into per-cell state keyed by cell key."""
+        histories: Dict[str, CellHistory] = {}
+        for rec in CampaignLedger.read(path):
+            event = rec.get("event")
+            if event not in ("cell-start", "cell-end"):
+                continue
+            key = rec["cell"]
+            hist = histories.setdefault(key, CellHistory(key=key))
+            hist.attempts = max(hist.attempts, int(rec.get("attempt", 0)))
+            if event == "cell-start":
+                hist.in_flight = True
+                if rec.get("spec"):
+                    hist.spec = rec["spec"]
+            else:
+                hist.in_flight = False
+                if rec.get("terminal"):
+                    hist.terminal = True
+                    hist.status = rec.get("status")
+                if rec.get("status") == "done":
+                    hist.cycles = rec.get("cycles")
+                    # Keep the FIRST recorded fingerprint: it is the golden
+                    # value later re-runs are checked against.
+                    if hist.fingerprint is None:
+                        hist.fingerprint = rec.get("fingerprint")
+        return histories
+
+
+def _outcome_record(
+    cell: CampaignCell,
+    attempt: int,
+    outcome: RunOutcome,
+    terminal: bool,
+    elapsed: float,
+) -> Dict[str, object]:
+    rec: Dict[str, object] = {
+        "event": "cell-end",
+        "cell": cell.key(),
+        "attempt": attempt,
+        "time": time.time(),
+        "elapsed": round(elapsed, 4),
+        "terminal": terminal,
+    }
+    if isinstance(outcome, RunResult):
+        rec.update(
+            status="done",
+            cycles=outcome.cycles,
+            fingerprint=outcome.fingerprint(),
+        )
+    elif isinstance(outcome, TimedOutRun):
+        rec.update(
+            status="timeout",
+            transient=True,
+            error_type=outcome.error_type,
+            error=outcome.error,
+            budget=outcome.budget,
+            hard_kill=outcome.hard_kill,
+            detail=outcome.detail[:LEDGER_DETAIL_LIMIT],
+        )
+    else:
+        transient = classify_outcome(outcome) is FailureClass.TRANSIENT
+        rec.update(
+            status="worker-died" if outcome.error_type == "WorkerDiedError" else "failed",
+            transient=transient,
+            error_type=outcome.error_type,
+            error=outcome.error,
+            detail=outcome.detail[:LEDGER_DETAIL_LIMIT],
+        )
+    return rec
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CampaignPolicy:
+    """Execution policy of one campaign."""
+
+    #: Maximum concurrently running worker processes.
+    jobs: int = 1
+    #: Wall-clock seconds one cell attempt may take (None = no watchdog).
+    wall_clock_budget: Optional[float] = None
+    #: Total attempts per cell (1 = no retries); only transient failures
+    #: consume extra attempts.
+    max_attempts: int = 3
+    #: First-retry backoff in seconds; doubles per subsequent attempt.
+    backoff_base: float = 0.25
+    #: Seed of the deterministic backoff jitter.
+    backoff_seed: int = 0
+    #: Extra seconds past the soft budget before the pool SIGKILLs a worker.
+    kill_grace: float = 5.0
+    #: Re-run cells already recorded done and verify their fingerprints
+    #: instead of skipping them (golden-regression mode).
+    recheck: bool = False
+
+    def validate(self) -> "CampaignPolicy":
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.wall_clock_budget is not None and self.wall_clock_budget <= 0:
+            raise ValueError("wall_clock_budget must be positive (or None)")
+        if self.backoff_base < 0 or self.kill_grace < 0:
+            raise ValueError("backoff_base and kill_grace must be non-negative")
+        return self
+
+    def backoff(self, cell_key: str, attempt: int) -> float:
+        """Seeded exponential backoff before retry number ``attempt``."""
+        rng = random.Random(
+            f"{self.backoff_seed}:{cell_key}:{attempt}".encode("utf-8")
+        )
+        return self.backoff_base * (2 ** (attempt - 1)) * (0.75 + 0.5 * rng.random())
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` call produced."""
+
+    #: Terminal outcome per cell key for every cell run in this call.
+    outcomes: Dict[str, RunOutcome] = field(default_factory=dict)
+    #: Cells skipped because the ledger already held a terminal record.
+    skipped: Dict[str, CellHistory] = field(default_factory=dict)
+    #: Attempts consumed per cell key in this call.
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: Cell keys whose recheck fingerprint did not match the golden value.
+    mismatches: List[str] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def n_done(self) -> int:
+        done = sum(1 for o in self.outcomes.values() if o.ok)
+        done += sum(1 for h in self.skipped.values() if h.status == "done")
+        return done
+
+    @property
+    def n_failed(self) -> int:
+        failed = sum(1 for o in self.outcomes.values() if not o.ok)
+        failed += sum(1 for h in self.skipped.values() if h.status != "done")
+        return failed
+
+    def failures(self) -> List[RunOutcome]:
+        return [o for o in self.outcomes.values() if not o.ok]
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.n_done} done",
+            f"{self.n_failed} failed",
+            f"{len(self.skipped)} skipped (already recorded)",
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}",
+        ]
+        if self.mismatches:
+            parts.append(f"{len(self.mismatches)} FINGERPRINT MISMATCH(ES)")
+        return ", ".join(parts)
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.Process
+    conn: object
+    cell: CampaignCell
+    attempt: int
+    started_at: float
+    budget: Optional[float]
+    hard_deadline: Optional[float]
+
+
+def _spawn(cell: CampaignCell, policy: CampaignPolicy, attempt: int) -> _Running:
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_cell_worker,
+        args=(child_conn, cell, policy.wall_clock_budget),
+        daemon=True,
+        name=f"campaign-{cell.key()}",
+    )
+    proc.start()
+    child_conn.close()
+    now = time.monotonic()
+    deadline = (
+        now + policy.wall_clock_budget + policy.kill_grace
+        if policy.wall_clock_budget is not None
+        else None
+    )
+    return _Running(
+        process=proc,
+        conn=parent_conn,
+        cell=cell,
+        attempt=attempt,
+        started_at=now,
+        budget=policy.wall_clock_budget,
+        hard_deadline=deadline,
+    )
+
+
+def _reap(running: _Running) -> RunOutcome:
+    """Collect the outcome of a finished (or dead) worker."""
+    outcome: Optional[RunOutcome] = None
+    try:
+        if running.conn.poll():
+            outcome = running.conn.recv()
+    except (EOFError, OSError):
+        outcome = None
+    running.conn.close()
+    running.process.join()
+    if outcome is None:
+        code = running.process.exitcode
+        outcome = FailedRun(
+            benchmark=running.cell.benchmark,
+            design_point=running.cell.design_point,
+            error_type="WorkerDiedError",
+            error=f"worker exited with code {code} before reporting an outcome",
+        )
+    return outcome
+
+
+def _kill(running: _Running) -> TimedOutRun:
+    """Hard watchdog: SIGKILL a worker that outlived budget + grace."""
+    running.process.kill()
+    running.process.join()
+    running.conn.close()
+    elapsed = time.monotonic() - running.started_at
+    return TimedOutRun(
+        benchmark=running.cell.benchmark,
+        design_point=running.cell.design_point,
+        budget=running.budget or 0.0,
+        elapsed=elapsed,
+        error="worker SIGKILLed by the pool watchdog",
+        hard_kill=True,
+    )
+
+
+def run_campaign(
+    cells: Iterable[CampaignCell],
+    policy: Optional[CampaignPolicy] = None,
+    ledger_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Execute a campaign of cells on the worker pool.
+
+    Args:
+        cells: The declarative grid.  Cell keys must be unique.
+        policy: Pool size, watchdog budget, retry policy (default: serial
+            single-job pool, no watchdog, 3 attempts).
+        ledger_path: JSONL ledger location.  ``None`` runs entirely
+            in-memory (used by the figure functions' ``jobs=`` path).
+        resume: Replay the ledger first: cells with a terminal record are
+            skipped (or re-verified under ``policy.recheck``), in-flight
+            cells are re-queued with their attempt counter preserved.
+            Without ``resume``, an existing non-empty ledger is an error —
+            refusing to silently interleave two campaigns in one file.
+        progress: Optional line sink for human-readable progress.
+
+    Returns a :class:`CampaignReport`; raises nothing for cell failures —
+    they are data (``report.outcomes``) — but propagates KeyboardInterrupt
+    after killing the pool, leaving the ledger resumable.
+    """
+    policy = (policy or CampaignPolicy()).validate()
+    cells = [c.validate() for c in cells]
+    keys = [c.key() for c in cells]
+    dup = {k for k in keys if keys.count(k) > 1}
+    if dup:
+        raise ValueError(f"duplicate campaign cell key(s): {sorted(dup)}")
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    report = CampaignReport()
+    histories: Dict[str, CellHistory] = {}
+    ledger: Optional[CampaignLedger] = None
+    if ledger_path is not None:
+        exists = os.path.exists(ledger_path) and os.path.getsize(ledger_path) > 0
+        if exists and not resume:
+            raise FileExistsError(
+                f"ledger {ledger_path!r} already has records; use resume "
+                "(or point the campaign at a fresh ledger)"
+            )
+        if resume and exists:
+            histories = CampaignLedger.replay(ledger_path)
+        ledger = CampaignLedger(ledger_path).open()
+
+    # Seed the run queue: skip terminally-recorded cells, re-queue the rest
+    # (in-flight cells keep their attempt counter so retries stay bounded
+    # across crashes).
+    heap: List[Tuple[float, int, CampaignCell, int]] = []
+    golden: Dict[str, Optional[str]] = {}
+    now = time.monotonic()
+    for seq, cell in enumerate(cells):
+        key = cell.key()
+        hist = histories.get(key)
+        if hist is not None and hist.terminal:
+            if policy.recheck and hist.status == "done":
+                golden[key] = hist.fingerprint
+            else:
+                report.skipped[key] = hist
+                continue
+        attempt = (hist.attempts if hist is not None else 0) + 1
+        heapq.heappush(heap, (now, seq, cell, attempt))
+    seq_counter = len(cells)
+
+    if ledger is not None:
+        ledger.append(
+            {
+                "event": "campaign-start",
+                "time": time.time(),
+                "resume": resume,
+                "n_cells": len(cells),
+                "n_skipped": len(report.skipped),
+                "policy": {
+                    "jobs": policy.jobs,
+                    "wall_clock_budget": policy.wall_clock_budget,
+                    "max_attempts": policy.max_attempts,
+                    "recheck": policy.recheck,
+                },
+            }
+        )
+
+    running: List[_Running] = []
+
+    def record_outcome(cell: CampaignCell, attempt: int, outcome: RunOutcome) -> None:
+        nonlocal seq_counter
+        key = cell.key()
+        report.attempts[key] = attempt
+        # Fingerprint invariant: a re-run of a recorded-done cell must
+        # reproduce the golden fingerprint byte for byte.
+        if (
+            isinstance(outcome, RunResult)
+            and golden.get(key) is not None
+            and outcome.fingerprint() != golden[key]
+        ):
+            outcome = FailedRun(
+                benchmark=cell.benchmark,
+                design_point=cell.design_point,
+                error_type="FingerprintMismatchError",
+                error=(
+                    f"recorded fingerprint {golden[key]} but re-run produced "
+                    f"{outcome.fingerprint()} — determinism violated"
+                ),
+            )
+            report.mismatches.append(key)
+        verdict = classify_outcome(outcome)
+        retryable = (
+            verdict is FailureClass.TRANSIENT and attempt < policy.max_attempts
+        )
+        elapsed = time.monotonic() - start_times.pop(key, now)
+        if ledger is not None:
+            rec = _outcome_record(cell, attempt, outcome, not retryable, elapsed)
+            if report.mismatches and report.mismatches[-1] == key:
+                rec["status"] = "fingerprint-mismatch"
+            ledger.append(rec)
+        if retryable:
+            delay = policy.backoff(key, attempt)
+            report.retries += 1
+            note(
+                f"  retry {key} (attempt {attempt} {outcome.error_type}; "
+                f"backoff {delay:.2f}s)"
+            )
+            heapq.heappush(
+                heap, (time.monotonic() + delay, seq_counter, cell, attempt + 1)
+            )
+            seq_counter += 1
+        else:
+            report.outcomes[key] = outcome
+            state = "done" if outcome.ok else f"FAILED ({outcome.error_type})"
+            note(f"  {key} {state} [{elapsed:.2f}s, attempt {attempt}]")
+
+    start_times: Dict[str, float] = {}
+    try:
+        while heap or running:
+            now = time.monotonic()
+            # Launch everything ready while there is pool capacity.
+            while heap and len(running) < policy.jobs and heap[0][0] <= now:
+                _, _, cell, attempt = heapq.heappop(heap)
+                start_times[cell.key()] = time.monotonic()
+                if ledger is not None:
+                    ledger.append(
+                        {
+                            "event": "cell-start",
+                            "cell": cell.key(),
+                            "attempt": attempt,
+                            "time": time.time(),
+                            "spec": cell.spec(),
+                        }
+                    )
+                running.append(_spawn(cell, policy, attempt))
+
+            if not running:
+                # Pool idle but a backoff delay is pending: sleep it off.
+                if heap:
+                    time.sleep(max(0.0, heap[0][0] - time.monotonic()))
+                continue
+
+            # Wait for the first of: a worker reporting, a worker dying, a
+            # hard deadline, or a queued retry becoming ready.
+            timeout = 0.5
+            deadlines = [r.hard_deadline for r in running if r.hard_deadline]
+            if deadlines:
+                timeout = min(timeout, max(0.0, min(deadlines) - time.monotonic()))
+            if heap:
+                timeout = min(timeout, max(0.0, heap[0][0] - time.monotonic()))
+            waitables = [r.conn for r in running] + [
+                r.process.sentinel for r in running
+            ]
+            _connection_wait(waitables, timeout=timeout)
+
+            still_running: List[_Running] = []
+            for r in running:
+                now = time.monotonic()
+                if r.conn.poll() or not r.process.is_alive():
+                    record_outcome(r.cell, r.attempt, _reap(r))
+                elif r.hard_deadline is not None and now >= r.hard_deadline:
+                    record_outcome(r.cell, r.attempt, _kill(r))
+                else:
+                    still_running.append(r)
+            running = still_running
+    finally:
+        for r in running:
+            r.process.kill()
+            r.process.join()
+            r.conn.close()
+        if ledger is not None:
+            ledger.append(
+                {
+                    "event": "campaign-end",
+                    "time": time.time(),
+                    "complete": not heap and not running,
+                    "n_done": report.n_done,
+                    "n_failed": report.n_failed,
+                    "retries": report.retries,
+                }
+            )
+            ledger.close()
+    return report
+
+
+def run_cells(
+    cells: Iterable[CampaignCell],
+    jobs: int = 1,
+    policy: Optional[CampaignPolicy] = None,
+    ledger_path: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, RunOutcome]:
+    """Run cells and return ``{cell key: outcome}`` — the figure-facing API.
+
+    ``jobs == 1`` (the default) executes serially in-process via
+    :func:`execute_cell`, with no pool, no ledger, and no retry machinery —
+    the exact fallback the figure functions always had.  ``jobs > 1``
+    dispatches through :func:`run_campaign`.  Both paths run the same
+    executor, so cycles and fingerprints are identical either way.
+    """
+    cells = list(cells)
+    if jobs <= 1 and ledger_path is None:
+        return {cell.key(): execute_cell(cell) for cell in cells}
+    pool_policy = policy or CampaignPolicy()
+    pool_policy.jobs = max(1, jobs)
+    report = run_campaign(
+        cells, pool_policy, ledger_path=ledger_path, progress=progress
+    )
+    return report.outcomes
+
+
+# ----------------------------------------------------------------------
+# Status
+# ----------------------------------------------------------------------
+
+
+def campaign_status(ledger_path: str) -> Dict[str, object]:
+    """Summarize a ledger: counts by status, in-flight cells, fingerprints.
+
+    Returns a plain dict (CLI-renderable and test-assertable):
+    ``{"cells": N, "by_status": {...}, "in_flight": [...], "complete": bool,
+    "attempts": total, "fingerprints": {key: fp}}``.
+    """
+    histories = CampaignLedger.replay(ledger_path)
+    by_status: Dict[str, int] = {}
+    in_flight: List[str] = []
+    fingerprints: Dict[str, str] = {}
+    attempts = 0
+    for hist in histories.values():
+        attempts += hist.attempts
+        if hist.in_flight:
+            in_flight.append(hist.key)
+        if hist.terminal:
+            by_status[hist.status or "?"] = by_status.get(hist.status or "?", 0) + 1
+        elif not hist.in_flight:
+            by_status["interrupted"] = by_status.get("interrupted", 0) + 1
+        if hist.fingerprint is not None:
+            fingerprints[hist.key] = hist.fingerprint
+    return {
+        "cells": len(histories),
+        "by_status": by_status,
+        "in_flight": sorted(in_flight),
+        "complete": not in_flight
+        and all(h.terminal for h in histories.values())
+        and bool(histories),
+        "attempts": attempts,
+        "fingerprints": fingerprints,
+    }
+
+
+def render_status(status: Dict[str, object]) -> str:
+    """Human-readable one-screen rendering of :func:`campaign_status`."""
+    lines = [f"cells recorded : {status['cells']}"]
+    for name, count in sorted(status["by_status"].items()):
+        lines.append(f"  {name:<20s} {count}")
+    lines.append(f"attempts       : {status['attempts']}")
+    lines.append(f"in flight      : {len(status['in_flight'])}")
+    for key in status["in_flight"]:
+        lines.append(f"  {key} (re-queued on resume)")
+    lines.append(f"complete       : {'yes' if status['complete'] else 'no'}")
+    return "\n".join(lines)

@@ -13,6 +13,12 @@ runaway cell cannot abort an exhibit.  Failed cells render as the
 :data:`GAP` marker in tables, are excluded from geomeans, and surface as
 structured :class:`~repro.harness.runner.FailedRun` records (post-mortem
 attached) under ``result.failures`` / ``data["failures"]``.
+
+Parallelism: every figure function (and :func:`run_all`) takes ``jobs``;
+``jobs > 1`` dispatches its grid through the campaign runner's worker pool
+(:mod:`repro.harness.campaign`) instead of the serial in-process loop.  Both
+paths run the same per-cell executor, so a pooled figure's cycle counts and
+fingerprints are bit-identical to the serial ones.
 """
 
 from __future__ import annotations
@@ -20,15 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from repro.core.design_points import (
-    FIGURE7_ORDER,
-    FIGURE12_ORDER,
-    get_design_point,
-    with_bus_latency,
-    with_bus_width,
-    with_queue_depth,
-    with_transit_delay,
-)
+from repro.core.design_points import FIGURE7_ORDER, FIGURE12_ORDER
+from repro.harness.campaign import CampaignCell, run_cells
 from repro.harness.reporting import (
     format_breakdown_table,
     format_table,
@@ -39,10 +38,8 @@ from repro.harness.runner import (
     FailedRun,
     RunOutcome,
     run_benchmark_resilient,
-    run_single_threaded,
 )
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.cosim import SimulationError
 from repro.sim.stats import geomean
 from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 
@@ -72,8 +69,10 @@ class ExperimentResult:
     description: str
     data: Dict
     text: str
-    #: Structured records for every cell that failed (post-mortem attached).
-    failures: List[FailedRun] = field(default_factory=list)
+    #: Structured records for every cell that failed (post-mortem attached):
+    #: :class:`FailedRun` diagnoses and, under a campaign watchdog,
+    #: :class:`~repro.harness.runner.TimedOutRun` kills.
+    failures: List[RunOutcome] = field(default_factory=list)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
@@ -94,6 +93,9 @@ def sweep(
     trip_count: Optional[int] = None,
     scale: float = 1.0,
     config_for=None,
+    overrides: Optional[Dict[str, int]] = None,
+    fault_plan_for=None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, RunOutcome]]:
     """Run a (benchmark x design point) grid, isolating per-cell failures.
 
@@ -105,32 +107,68 @@ def sweep(
         scale: Multiplier on the per-benchmark defaults when ``trip_count``
             is None.
         config_for: Optional ``(benchmark, point) -> Optional[MachineConfig]``
-            hook supplying a custom config per cell (e.g. a seeded fault
-            plan for one deliberately perturbed cell); returning None uses
-            the design point's own config.
+            hook supplying a custom config per cell; returning None uses the
+            design point's own config.  Serial-only: configs are closures
+            over live objects, so this hook cannot cross the worker-pool
+            process boundary — use ``overrides`` / ``fault_plan_for`` with
+            ``jobs > 1``.
+        overrides: Declarative ``{knob: value}`` config deltas (see
+            :data:`repro.core.design_points.OVERRIDE_KNOBS`) applied to
+            every cell; works with any ``jobs``.
+        fault_plan_for: Optional ``(benchmark, point) -> Optional[FaultPlan]``
+            hook attaching a seeded fault plan per cell; plans are plain
+            data, so this works with any ``jobs``.
+        jobs: ``1`` runs the serial in-process loop (the default fallback);
+            ``> 1`` dispatches the grid through the campaign runner's
+            worker pool.
 
     Returns a nested dict ``grid[benchmark][point]`` of
     :class:`~repro.harness.runner.RunOutcome`: failing cells become
     :class:`FailedRun` records and the rest of the grid still completes.
     """
-    grid: Dict[str, Dict[str, RunOutcome]] = {}
+    if config_for is not None:
+        if jobs > 1:
+            raise ValueError(
+                "config_for is a live-object hook and cannot cross the "
+                "worker-pool boundary; express the cell deltas as "
+                "overrides=/fault_plan_for= to use jobs > 1"
+            )
+        grid: Dict[str, Dict[str, RunOutcome]] = {}
+        for bench in benchmarks:
+            grid[bench] = {}
+            trips = trip_count if trip_count is not None else _trips(bench, scale)
+            for name in design_points:
+                grid[bench][name] = run_benchmark_resilient(
+                    bench, name, trips, config=config_for(bench, name)
+                )
+        return grid
+
+    layout: List[tuple] = []
+    cells: List[CampaignCell] = []
     for bench in benchmarks:
-        grid[bench] = {}
         trips = trip_count if trip_count is not None else _trips(bench, scale)
         for name in design_points:
-            cfg = config_for(bench, name) if config_for is not None else None
-            grid[bench][name] = run_benchmark_resilient(
-                bench, name, trips, config=cfg
+            cell = CampaignCell(
+                benchmark=bench,
+                design_point=name,
+                trip_count=trips,
+                overrides=dict(overrides or {}),
+                fault_plan=(
+                    fault_plan_for(bench, name) if fault_plan_for is not None else None
+                ),
             )
+            layout.append((bench, name, cell.key()))
+            cells.append(cell)
+    outcomes = run_cells(cells, jobs=jobs)
+    grid = {}
+    for bench, name, key in layout:
+        grid.setdefault(bench, {})[name] = outcomes[key]
     return grid
 
 
-def _grid_failures(grid: Mapping[str, Mapping[str, RunOutcome]]) -> List[FailedRun]:
+def _grid_failures(grid: Mapping[str, Mapping[str, RunOutcome]]) -> List[RunOutcome]:
     return [
-        cell
-        for runs in grid.values()
-        for cell in runs.values()
-        if isinstance(cell, FailedRun)
+        cell for runs in grid.values() for cell in runs.values() if not cell.ok
     ]
 
 
@@ -156,14 +194,9 @@ def _failure_footer(failures: List[FailedRun]) -> str:
 
 
 def _design_point_grid(
-    points, scale: float, config_transform=None
+    points, scale: float, overrides: Optional[Dict[str, int]] = None, jobs: int = 1
 ) -> Dict[str, Dict[str, RunOutcome]]:
-    def config_for(bench: str, name: str) -> Optional[MachineConfig]:
-        if config_transform is None:
-            return None
-        return config_transform(get_design_point(name).build_config())
-
-    return sweep(BENCHMARK_ORDER, points, scale=scale, config_for=config_for)
+    return sweep(BENCHMARK_ORDER, points, scale=scale, overrides=overrides, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -207,7 +240,7 @@ def table2() -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure6(scale: float = 1.0) -> ExperimentResult:
+def figure6(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 6: HEAVYWT at 1- vs 10-cycle transit, 32- vs 64-entry queues.
 
     Paper shape: the 1-cycle and 10-cycle bars are nearly equal for all
@@ -216,25 +249,37 @@ def figure6(scale: float = 1.0) -> ExperimentResult:
     (pipelined transit acts as extra queue storage); the 64-entry queue
     recovers the residual slowdowns.
     """
-    point = get_design_point("HEAVYWT")
-    variants = {
-        "1c/32q": with_queue_depth(with_transit_delay(point.build_config(), 1), 32),
-        "10c/32q": with_queue_depth(with_transit_delay(point.build_config(), 10), 32),
-        "10c/64q": with_queue_depth(with_transit_delay(point.build_config(), 10), 64),
+    variants: Dict[str, Dict[str, int]] = {
+        "1c/32q": {"transit_delay": 1, "queue_depth": 32},
+        "10c/32q": {"transit_delay": 10, "queue_depth": 32},
+        "10c/64q": {"transit_delay": 10, "queue_depth": 64},
     }
     labels = tuple(variants)
+    layout: List[tuple] = []
+    cells: List[CampaignCell] = []
+    for bench in BENCHMARK_ORDER:
+        for label, ov in variants.items():
+            cell = CampaignCell(
+                benchmark=bench,
+                design_point="HEAVYWT",
+                trip_count=_trips(bench, scale),
+                overrides=dict(ov),
+            )
+            layout.append((bench, label, cell.key()))
+            cells.append(cell)
+    outcomes = run_cells(cells, jobs=jobs)
     series: Dict[str, Dict[str, Optional[float]]] = {}
-    failures: List[FailedRun] = []
+    failures: List[RunOutcome] = []
     for bench in BENCHMARK_ORDER:
         cycles: Dict[str, float] = {}
-        for label, cfg in variants.items():
-            outcome = run_benchmark_resilient(
-                bench, "HEAVYWT", _trips(bench, scale), config=cfg
-            )
-            if isinstance(outcome, FailedRun):
-                failures.append(outcome)
-            else:
+        for b, label, key in layout:
+            if b != bench:
+                continue
+            outcome = outcomes[key]
+            if outcome.ok:
                 cycles[label] = outcome.cycles
+            else:
+                failures.append(outcome)
         if "1c/32q" in cycles:
             normalized = normalized_series(cycles, "1c/32q")
         else:
@@ -269,18 +314,19 @@ def _breakdown_figure(
     title: str,
     points,
     scale: float,
-    config_transform=None,
+    overrides: Optional[Dict[str, int]] = None,
     thread: str = "producer",
     baseline_point: Optional[str] = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    grid = _design_point_grid(points, scale, config_transform)
+    grid = _design_point_grid(points, scale, overrides=overrides, jobs=jobs)
     baseline_point = baseline_point or points[0]
     failures = _grid_failures(grid)
     normalized: Dict[str, Dict[str, Optional[float]]] = {}
     bars: Dict[str, Mapping[str, float]] = {}
     for bench, runs in grid.items():
         baseline = runs[baseline_point]
-        if isinstance(baseline, FailedRun):
+        if not baseline.ok:
             # No baseline, no normalization: the whole row is a gap.
             normalized[bench] = {name: None for name in points}
             continue
@@ -288,7 +334,7 @@ def _breakdown_figure(
         normalized[bench] = {}
         for name in points:
             cell = runs[name]
-            if isinstance(cell, FailedRun):
+            if not cell.ok:
                 normalized[bench][name] = None
                 continue
             normalized[bench][name] = cell.cycles / base
@@ -317,7 +363,7 @@ def _breakdown_figure(
     )
 
 
-def figure7(scale: float = 1.0) -> ExperimentResult:
+def figure7(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 7: normalized execution times for each design point.
 
     Paper shape: HEAVYWT best everywhere; SYNCOPTI trails it closely
@@ -330,10 +376,11 @@ def figure7(scale: float = 1.0) -> ExperimentResult:
         "Figure 7: Normalized execution times for each design point (producer)",
         list(FIGURE7_ORDER),
         scale,
+        jobs=jobs,
     )
 
 
-def figure10(scale: float = 1.0) -> ExperimentResult:
+def figure10(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 10: 4-CPU-cycle bus latency sensitivity.
 
     Paper shape: tight loops (adpcmdec, wc, epicdec) hurt most; even larger
@@ -345,11 +392,12 @@ def figure10(scale: float = 1.0) -> ExperimentResult:
         "Figure 10: Effect of increased transit delay (bus latency = 4 CPU cycles)",
         list(FIGURE7_ORDER),
         scale,
-        config_transform=lambda cfg: with_transit_delay(with_bus_latency(cfg, 4), 4),
+        overrides={"bus_latency": 4, "transit_delay": 4},
+        jobs=jobs,
     )
 
 
-def figure11(scale: float = 1.0) -> ExperimentResult:
+def figure11(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 11: 128-byte-wide bus at 4-cycle latency.
 
     Paper shape: the wide bus (one beat per line) removes the arbitration
@@ -361,9 +409,8 @@ def figure11(scale: float = 1.0) -> ExperimentResult:
         "(transit = 4 cycles, bus width = 128 bytes)",
         list(FIGURE7_ORDER),
         scale,
-        config_transform=lambda cfg: with_transit_delay(
-            with_bus_width(with_bus_latency(cfg, 4), 128), 4
-        ),
+        overrides={"bus_latency": 4, "bus_width": 128, "transit_delay": 4},
+        jobs=jobs,
     )
 
 
@@ -372,18 +419,25 @@ def figure11(scale: float = 1.0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure8(scale: float = 1.0) -> ExperimentResult:
+def figure8(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 8: dynamic comm-to-application instruction ratios.
 
     Paper shape: with produce/consume instructions, one communication per
     5-20 application instructions; wc is the extreme (3 consumes per
     iteration of a very tight loop).
     """
+    cells = {
+        bench: CampaignCell(
+            benchmark=bench, design_point="HEAVYWT", trip_count=_trips(bench, scale)
+        )
+        for bench in BENCHMARK_ORDER
+    }
+    outcomes = run_cells(cells.values(), jobs=jobs)
     ratios: Dict[str, Dict[str, Optional[float]]] = {}
-    failures: List[FailedRun] = []
+    failures: List[RunOutcome] = []
     for bench in BENCHMARK_ORDER:
-        outcome = run_benchmark_resilient(bench, "HEAVYWT", _trips(bench, scale))
-        if isinstance(outcome, FailedRun):
+        outcome = outcomes[cells[bench].key()]
+        if not outcome.ok:
             failures.append(outcome)
             ratios[bench] = {"producer": None, "consumer": None}
             continue
@@ -430,33 +484,35 @@ def figure8(scale: float = 1.0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure9(scale: float = 1.0) -> ExperimentResult:
+def figure9(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 9: loop speedup of HEAVYWT over single-threaded execution.
 
     Paper shape: all benchmarks at or above 1.0, geomean ~1.29x — meaning
     the other mechanisms' COMM-OP overheads can erase parallelization gains.
     """
-    speedups: Dict[str, Optional[float]] = {}
-    failures: List[FailedRun] = []
+    mt_cells: Dict[str, CampaignCell] = {}
+    st_cells: Dict[str, CampaignCell] = {}
     for bench in BENCHMARK_ORDER:
         trips = _trips(bench, scale)
-        mt = run_benchmark_resilient(bench, "HEAVYWT", trips)
-        if isinstance(mt, FailedRun):
+        mt_cells[bench] = CampaignCell(
+            benchmark=bench, design_point="HEAVYWT", trip_count=trips
+        )
+        st_cells[bench] = CampaignCell(
+            benchmark=bench, kind="single", trip_count=trips
+        )
+    outcomes = run_cells(
+        list(mt_cells.values()) + list(st_cells.values()), jobs=jobs
+    )
+    speedups: Dict[str, Optional[float]] = {}
+    failures: List[RunOutcome] = []
+    for bench in BENCHMARK_ORDER:
+        mt = outcomes[mt_cells[bench].key()]
+        st = outcomes[st_cells[bench].key()]
+        if not mt.ok:
             failures.append(mt)
-            speedups[bench] = None
-            continue
-        try:
-            st = run_single_threaded(bench, trips)
-        except SimulationError as exc:
-            failures.append(
-                FailedRun(
-                    benchmark=bench,
-                    design_point="SINGLE",
-                    error_type=type(exc).__name__,
-                    error=str(exc).splitlines()[0],
-                    post_mortem=exc.post_mortem,
-                )
-            )
+        if not st.ok:
+            failures.append(st)
+        if not (mt.ok and st.ok):
             speedups[bench] = None
             continue
         speedups[bench] = st.cycles / mt.cycles
@@ -485,7 +541,7 @@ def figure9(scale: float = 1.0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure12(scale: float = 1.0) -> ExperimentResult:
+def figure12(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Figure 12: stream cache and queue size effects on SYNCOPTI.
 
     Paper shape: Q64 reduces producer stalls, SC cuts consume-to-use
@@ -493,21 +549,21 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
     EXISTING/MEMOPTI — at ~1% of the dedicated store's cost.
     """
     points = list(FIGURE12_ORDER)
-    grid = _design_point_grid(points, scale)
+    grid = _design_point_grid(points, scale, jobs=jobs)
     failures = _grid_failures(grid)
     normalized: Dict[str, Dict[str, Optional[float]]] = {}
     producer_bars: Dict[str, Mapping[str, float]] = {}
     consumer_bars: Dict[str, Mapping[str, float]] = {}
     for bench, runs in grid.items():
         baseline = runs["HEAVYWT"]
-        if isinstance(baseline, FailedRun):
+        if not baseline.ok:
             normalized[bench] = {name: None for name in points}
             continue
         base = baseline.cycles
         normalized[bench] = {}
         for name in points:
             cell = runs[name]
-            if isinstance(cell, FailedRun):
+            if not cell.ok:
                 normalized[bench][name] = None
                 continue
             normalized[bench][name] = cell.cycles / base
@@ -546,7 +602,7 @@ def figure12(scale: float = 1.0) -> ExperimentResult:
     )
 
 
-def pipeline_scaling(scale: float = 1.0) -> ExperimentResult:
+def pipeline_scaling(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """Scalability study: K-stage DSWP pipelines on K-core machines.
 
     Sweeps stage count over the four design points and reports speedup,
@@ -558,7 +614,7 @@ def pipeline_scaling(scale: float = 1.0) -> ExperimentResult:
     # ExperimentResult, so a top-level import here would cycle.
     from repro.pipeline.scaling import pipeline_scaling as _pipeline_scaling
 
-    return _pipeline_scaling(scale)
+    return _pipeline_scaling(scale, jobs=jobs)
 
 
 #: All exhibits, in paper order (the scalability study extends the paper).
@@ -576,12 +632,16 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(scale: float = 1.0) -> List[ExperimentResult]:
-    """Regenerate every exhibit (tables take no scale)."""
+def run_all(scale: float = 1.0, jobs: int = 1) -> List[ExperimentResult]:
+    """Regenerate every exhibit (tables take no scale).
+
+    ``jobs > 1`` runs each exhibit's grid on the campaign runner's worker
+    pool; ``jobs=1`` keeps the serial in-process default.
+    """
     results = []
     for name, fn in ALL_EXPERIMENTS.items():
         if name.startswith("table"):
             results.append(fn())
         else:
-            results.append(fn(scale))
+            results.append(fn(scale, jobs=jobs))
     return results

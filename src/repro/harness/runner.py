@@ -10,7 +10,9 @@ Resilience: :func:`run_benchmark_resilient` is the sweep-facing entry
 point.  A cell that deadlocks or exhausts its step budget does not abort
 the grid — it becomes a structured :class:`FailedRun` carrying the
 scheduler's :class:`~repro.sim.forensics.PostMortem`, and the caller
-renders the gap explicitly.
+renders the gap explicitly.  A cell that outlives its wall-clock budget
+becomes a :class:`TimedOutRun` — the transient sibling the campaign
+runner (:mod:`repro.harness.campaign`) retries with backoff.
 """
 
 from __future__ import annotations
@@ -20,20 +22,20 @@ from typing import Dict, Optional, Union
 
 from repro.core.design_points import get_design_point
 from repro.sim.config import MachineConfig
-from repro.sim.cosim import SimulationError
+from repro.sim.cosim import SimulationError, WallClockExceededError
 from repro.sim.forensics import PostMortem
 from repro.sim.machine import Machine
 from repro.sim.stats import RunStats, ThreadStats
 from repro.trace.buffer import TraceBuffer, TraceConfig
-
-#: The ``trace`` knob accepted by the run entry points: ``None``/``False``
-#: (off), ``True`` (trace with defaults), or a full :class:`TraceConfig`.
-TraceKnob = Union[None, bool, TraceConfig]
 from repro.workloads.suite import (
     benchmark_info,
     build_pipelined,
     build_single_threaded,
 )
+
+#: The ``trace`` knob accepted by the run entry points: ``None``/``False``
+#: (off), ``True`` (trace with defaults), or a full :class:`TraceConfig`.
+TraceKnob = Union[None, bool, TraceConfig]
 
 #: Default iteration count for experiment runs: enough to wash out cold-start
 #: transients while keeping the full grid fast.
@@ -52,6 +54,15 @@ class RunResult:
     #: The run's :class:`~repro.trace.buffer.TraceBuffer` when tracing was
     #: requested (via the ``trace=`` knob or ``config.trace``), else ``None``.
     trace: Optional[TraceBuffer] = field(repr=False, default=None)
+    #: Small derived payloads a campaign worker computed in-process before
+    #: the heavyweight ``machine``/``trace`` were stripped at the process
+    #: boundary (e.g. the pipeline study's per-hop delays and bus
+    #: utilization).  Empty for ordinary in-process runs.
+    extras: Dict[str, object] = field(repr=False, default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Stable :meth:`~repro.sim.stats.RunStats.fingerprint` of the run."""
+        return self.stats.fingerprint()
 
     @property
     def ok(self) -> bool:
@@ -87,20 +98,74 @@ class FailedRun:
     error_type: str
     error: str
     post_mortem: Optional[PostMortem] = field(repr=False, default=None)
+    #: Full multi-line exception text.  ``error`` keeps only the first line
+    #: for table footers and one-line summaries; ledger records and
+    #: :meth:`describe` use this so multi-line diagnostics are never lost.
+    detail: str = field(repr=False, default="")
 
     @property
     def ok(self) -> bool:
         return False
 
     def describe(self) -> str:
-        head = f"{self.benchmark}/{self.design_point}: {self.error_type}: {self.error}"
+        body = self.detail if self.detail.strip() else self.error
+        head = f"{self.benchmark}/{self.design_point}: {self.error_type}: {body}"
+        if self.post_mortem is not None and self.post_mortem.render() not in head:
+            head += "\n" + self.post_mortem.render()
+        return head
+
+
+@dataclass
+class TimedOutRun:
+    """A cell killed by the campaign watchdog, not by the simulator.
+
+    Sibling of :class:`FailedRun`: the simulation neither finished nor
+    diagnosed itself — it outlived its wall-clock budget and was stopped.
+    When the in-process watchdog fired
+    (:class:`~repro.sim.cosim.WallClockExceededError`) the attached
+    post-mortem is whatever the worker managed to flush before dying; when
+    the worker was so wedged the pool had to ``SIGKILL`` it
+    (``hard_kill=True``) there is none.
+
+    Wall-clock overruns depend on host load, so they are the canonical
+    *transient* failure: the campaign runner retries them with backoff,
+    unlike the deterministic :class:`FailedRun` diagnoses.
+    """
+
+    benchmark: str
+    design_point: str
+    #: Wall-clock seconds the cell was allowed.
+    budget: float
+    #: Wall-clock seconds observed when the run was stopped.
+    elapsed: float
+    error: str = "wall-clock budget exceeded"
+    detail: str = field(repr=False, default="")
+    post_mortem: Optional[PostMortem] = field(repr=False, default=None)
+    #: True when the pool killed the worker process outright (the in-process
+    #: watchdog never got to run — e.g. a hang outside the scheduler loop).
+    hard_kill: bool = False
+
+    #: Mirrors ``FailedRun.error_type`` so footers/ledgers render uniformly.
+    error_type: str = "WallClockExceededError"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        how = "killed by pool watchdog" if self.hard_kill else "in-process watchdog"
+        head = (
+            f"{self.benchmark}/{self.design_point}: timed out after "
+            f"{self.elapsed:.2f}s (budget {self.budget:g}s, {how})"
+        )
         if self.post_mortem is not None:
             head += "\n" + self.post_mortem.render()
         return head
 
 
-#: What one sweep cell yields: a result or a diagnosed failure.
-RunOutcome = Union[RunResult, FailedRun]
+#: What one sweep cell yields: a result, a diagnosed failure, or a watchdog
+#: kill.
+RunOutcome = Union[RunResult, FailedRun, TimedOutRun]
 
 
 def _apply_trace(cfg: MachineConfig, trace: TraceKnob) -> MachineConfig:
@@ -117,6 +182,7 @@ def run_benchmark(
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
+    wall_clock_budget: Optional[float] = None,
 ) -> RunResult:
     """Run one benchmark on one design point.
 
@@ -135,6 +201,9 @@ def run_benchmark(
             :class:`TraceConfig` for capacity/category control, or ``None``
             to leave tracing off (or governed by ``config.trace``).  The
             recorded buffer is returned as ``RunResult.trace``.
+        wall_clock_budget: Host seconds the simulation may consume (None =
+            unbounded); overruns raise
+            :class:`~repro.sim.cosim.WallClockExceededError`.
     """
     point = get_design_point(design_point)
     benchmark_info(benchmark)  # validate the name early
@@ -146,7 +215,7 @@ def run_benchmark(
     cfg = _apply_trace(cfg, trace)
     program = build_pipelined(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
-    stats = machine.run(program)
+    stats = machine.run(program, wall_clock_budget=wall_clock_budget)
     return RunResult(
         benchmark=benchmark,
         design_point=design_point,
@@ -163,16 +232,35 @@ def run_benchmark_resilient(
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
+    wall_clock_budget: Optional[float] = None,
 ) -> RunOutcome:
     """Like :func:`run_benchmark`, but a failing simulation becomes data.
 
-    Only simulation failures (deadlock, step-limit) are absorbed; genuine
-    usage errors — unknown names, config mismatches — still raise, because
-    silently skipping those would hide bugs, not hardware behavior.
+    Only simulation failures (deadlock, step-limit, wall-clock overrun) are
+    absorbed; genuine usage errors — unknown names, config mismatches —
+    still raise, because silently skipping those would hide bugs, not
+    hardware behavior.  A wall-clock overrun becomes a
+    :class:`TimedOutRun` (transient — retried by the campaign runner); other
+    simulation failures become deterministic :class:`FailedRun` diagnoses.
     """
     try:
         return run_benchmark(
-            benchmark, design_point, trip_count, config=config, trace=trace
+            benchmark,
+            design_point,
+            trip_count,
+            config=config,
+            trace=trace,
+            wall_clock_budget=wall_clock_budget,
+        )
+    except WallClockExceededError as exc:
+        return TimedOutRun(
+            benchmark=benchmark,
+            design_point=design_point,
+            budget=exc.budget,
+            elapsed=exc.elapsed,
+            error=str(exc).splitlines()[0],
+            detail=str(exc),
+            post_mortem=exc.post_mortem,
         )
     except SimulationError as exc:
         return FailedRun(
@@ -180,6 +268,7 @@ def run_benchmark_resilient(
             design_point=design_point,
             error_type=type(exc).__name__,
             error=str(exc).splitlines()[0],
+            detail=str(exc),
             post_mortem=exc.post_mortem,
         )
 
@@ -189,6 +278,7 @@ def run_single_threaded(
     trip_count: Optional[int] = DEFAULT_TRIP_COUNT,
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
+    wall_clock_budget: Optional[float] = None,
 ) -> RunResult:
     """Run the original (unpartitioned) loop on one core."""
     point = get_design_point("HEAVYWT")  # mechanism is unused without queues
@@ -196,7 +286,7 @@ def run_single_threaded(
     cfg = _apply_trace(cfg, trace)
     program = build_single_threaded(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
-    stats = machine.run(program)
+    stats = machine.run(program, wall_clock_budget=wall_clock_budget)
     return RunResult(
         benchmark=benchmark,
         design_point="SINGLE",

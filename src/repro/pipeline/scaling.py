@@ -24,16 +24,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.design_points import get_design_point, with_n_cores
 from repro.dswp.partition import Partition, PartitionError
-from repro.harness.runner import FailedRun, run_single_threaded
-from repro.pipeline.codegen import lower_pipeline, plan_queue_hops
+from repro.harness.campaign import CampaignCell, run_cells
+from repro.harness.runner import FailedRun, RunOutcome
+from repro.pipeline.codegen import lower_pipeline
 from repro.pipeline.partition import partition_loop_k
-from repro.sim.cosim import SimulationError
-from repro.sim.machine import Machine
 from repro.sim.program import Program
 from repro.sim.stats import geomean
-from repro.trace.buffer import TraceConfig
 from repro.workloads.suite import build_loop, build_partition
 
 #: Kernels with enough recurrences (SCCs) to fill eight pipeline stages.
@@ -95,6 +92,7 @@ def pipeline_scaling(
     benchmarks: Iterable[str] = PIPELINE_BENCHMARKS,
     stage_counts: Iterable[int] = STAGE_COUNTS,
     design_points: Iterable[str] = SCALING_POINTS,
+    jobs: int = 1,
 ):
     """Run the stage-count sweep and render the scalability tables.
 
@@ -104,6 +102,10 @@ def pipeline_scaling(
         benchmarks: Kernel subset to sweep (non-nested suite members).
         stage_counts: Pipeline depths to build; each runs on that many cores.
         design_points: Design-point names to compare.
+        jobs: ``1`` (default) runs every cell serially in-process; ``> 1``
+            dispatches the grid through the campaign runner's worker pool.
+            Either way each cell runs the same executor, so the study's
+            numbers are identical.
 
     Returns an :class:`~repro.harness.experiments.ExperimentResult` whose
     ``data`` carries ``speedup`` / ``geomean_speedup`` / ``comm_op_delay`` /
@@ -118,7 +120,7 @@ def pipeline_scaling(
     stage_counts = tuple(stage_counts)
     design_points = tuple(design_points)
 
-    failures: List[FailedRun] = []
+    failures: List[RunOutcome] = []
     speedup: Dict[str, Dict[str, Dict[int, Optional[float]]]] = {
         p: {b: {} for b in benchmarks} for p in design_points
     }
@@ -129,14 +131,20 @@ def pipeline_scaling(
         p: {b: {} for b in benchmarks} for p in design_points
     }
 
-    single_cycles: Dict[str, int] = {}
+    # Partition feasibility is checked once per (benchmark, K) up front —
+    # a kernel without enough recurrences for K stages fails every design
+    # point identically, so it gets one FailedRun, not four.
+    trips: Dict[str, int] = {
+        b: max(32, int(EXPERIMENT_TRIPS[b] * scale)) for b in benchmarks
+    }
+    buildable: Dict[Tuple[str, int], bool] = {}
     for bench in benchmarks:
-        trips = max(32, int(EXPERIMENT_TRIPS[bench] * scale))
-        single_cycles[bench] = run_single_threaded(bench, trips).cycles
         for k in stage_counts:
             try:
-                partition = build_pipeline_partition(bench, k, trips)
+                build_pipeline_partition(bench, k, trips[bench])
+                buildable[(bench, k)] = True
             except PartitionError as exc:
+                buildable[(bench, k)] = False
                 failures.append(
                     FailedRun(
                         benchmark=bench,
@@ -148,39 +156,50 @@ def pipeline_scaling(
                 for point in design_points:
                     speedup[point][bench][k] = None
                     bus_util[point][bench][k] = None
-                continue
-            program = lower_pipeline(partition)
-            hop_of_queue = {
-                qid: src for (_, src), qid in plan_queue_hops(partition).items()
-            }
-            for point in design_points:
-                dp = get_design_point(point)
-                cfg = with_n_cores(dp.build_config(), k).copy(
-                    trace=TraceConfig(capacity=1 << 20, categories=("comm",))
-                )
-                machine = Machine(cfg, mechanism=dp.mechanism)
-                try:
-                    stats = machine.run(program)
-                except SimulationError as exc:
-                    failures.append(
-                        FailedRun(
-                            benchmark=bench,
-                            design_point=f"{point}/K={k}",
-                            error_type=type(exc).__name__,
-                            error=str(exc).splitlines()[0],
-                            post_mortem=exc.post_mortem,
-                        )
-                    )
-                    speedup[point][bench][k] = None
-                    bus_util[point][bench][k] = None
-                    continue
-                speedup[point][bench][k] = single_cycles[bench] / stats.cycles
-                hop_delays[point][bench][k] = _per_hop_delay(
-                    machine.trace, hop_of_queue
-                )
-                bus_util[point][bench][k] = machine.mem.bus.utilization(
-                    stats.cycles
-                )
+
+    single_cells = {
+        bench: CampaignCell(benchmark=bench, kind="single", trip_count=trips[bench])
+        for bench in benchmarks
+    }
+    pipe_cells: Dict[Tuple[str, int, str], CampaignCell] = {
+        (bench, k, point): CampaignCell(
+            benchmark=bench,
+            design_point=point,
+            kind="pipeline",
+            stages=k,
+            trip_count=trips[bench],
+        )
+        for bench in benchmarks
+        for k in stage_counts
+        if buildable[(bench, k)]
+        for point in design_points
+    }
+    outcomes = run_cells(
+        list(single_cells.values()) + list(pipe_cells.values()), jobs=jobs
+    )
+
+    single_cycles: Dict[str, Optional[int]] = {}
+    for bench in benchmarks:
+        st = outcomes[single_cells[bench].key()]
+        if st.ok:
+            single_cycles[bench] = st.cycles
+        else:
+            single_cycles[bench] = None
+            failures.append(st)
+
+    for (bench, k, point), cell in pipe_cells.items():
+        outcome = outcomes[cell.key()]
+        if not outcome.ok:
+            failures.append(outcome)
+            speedup[point][bench][k] = None
+            bus_util[point][bench][k] = None
+            continue
+        base = single_cycles[bench]
+        speedup[point][bench][k] = (
+            base / outcome.cycles if base is not None else None
+        )
+        hop_delays[point][bench][k] = outcome.extras["hop_delays"]
+        bus_util[point][bench][k] = outcome.extras["bus_utilization"]
 
     def grid_geomean(
         grid: Dict[str, Dict[int, Optional[float]]], k: int

@@ -31,6 +31,7 @@ the owning :class:`~repro.sim.machine.Machine`).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
@@ -41,6 +42,12 @@ from repro.sim.forensics import ChannelDump, CoreDump, PostMortem
 #: post-mortem construction — the third element is optional so probes
 #: written before the tracing subsystem keep working.
 ContextProbe = Callable[[], Tuple[Sequence[ChannelDump], Sequence[object]]]
+
+#: Scheduler steps between wall-clock watchdog checks: frequent enough that a
+#: livelocked run (e.g. a spin loop recirculating through a huge injected
+#: queue-slot stall) is caught within milliseconds of its budget, rare enough
+#: that the ``time.monotonic()`` call is invisible in profile.
+WALL_CLOCK_CHECK_INTERVAL = 2048
 
 
 class SimulationError(RuntimeError):
@@ -57,6 +64,33 @@ class DeadlockError(SimulationError):
 
 class SimulationLimitError(SimulationError):
     """The scheduler exceeded its step budget (runaway program)."""
+
+
+class WallClockExceededError(SimulationError):
+    """The simulation outlived its host wall-clock budget.
+
+    Raised by the scheduler's in-process watchdog (checked every
+    :data:`WALL_CLOCK_CHECK_INTERVAL` steps), so the post-mortem is built
+    while the run's channel and core state are still alive — the campaign
+    runner records it in a :class:`~repro.harness.runner.TimedOutRun` before
+    the pool's hard kill would have destroyed all forensics.
+
+    Unlike deadlocks and step-limit overruns — which are functions of the
+    (seeded, deterministic) simulation alone and therefore reproduce on every
+    retry — a wall-clock overrun depends on host load, so it is classified
+    *transient* by :func:`repro.faults.classify.classify_error_type`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        post_mortem: Optional[PostMortem] = None,
+        budget: float = 0.0,
+        elapsed: float = 0.0,
+    ) -> None:
+        super().__init__(message, post_mortem=post_mortem)
+        self.budget = budget
+        self.elapsed = elapsed
 
 
 class _State(enum.Enum):
@@ -91,6 +125,7 @@ class Scheduler:
         max_steps: int = 50_000_000,
         context_probe: Optional[ContextProbe] = None,
         trace=None,
+        wall_clock_budget: Optional[float] = None,
     ) -> None:
         self.runners: List[CoreRunner] = [
             CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
@@ -98,6 +133,11 @@ class Scheduler:
         self.max_steps = max_steps
         self.total_steps = 0
         self.context_probe = context_probe
+        #: Host seconds this run may consume (None = unbounded).  Checked
+        #: every WALL_CLOCK_CHECK_INTERVAL steps; the clock starts at
+        #: construction so setup cost counts against the budget too.
+        self.wall_clock_budget = wall_clock_budget
+        self._wall_clock_start = time.monotonic() if wall_clock_budget else None
         #: Optional :class:`~repro.trace.buffer.TraceBuffer`; ``None`` keeps
         #: every scheduler hook to a single branch (zero-overhead contract).
         self.trace = trace
@@ -222,6 +262,20 @@ class Scheduler:
             post_mortem=pm,
         )
 
+    def _check_wall_clock(self) -> None:
+        elapsed = time.monotonic() - self._wall_clock_start
+        if elapsed <= self.wall_clock_budget:
+            return
+        pm = self.build_post_mortem("wall-clock")
+        raise WallClockExceededError(
+            f"exceeded the {self.wall_clock_budget:g}s wall-clock budget after "
+            f"{elapsed:.2f}s and {self.total_steps} steps — the run is wedged "
+            f"or far too slow for its deadline\n{pm.render()}",
+            post_mortem=pm,
+            budget=self.wall_clock_budget,
+            elapsed=elapsed,
+        )
+
     # ------------------------------------------------------------------
 
     def _step(self, runner: CoreRunner) -> None:
@@ -230,6 +284,11 @@ class Scheduler:
         runner.last_progress_step = self.total_steps
         if self.total_steps > self.max_steps:
             self._raise_limit()
+        if (
+            self._wall_clock_start is not None
+            and self.total_steps % WALL_CLOCK_CHECK_INTERVAL == 0
+        ):
+            self._check_wall_clock()
         try:
             msg = runner.gen.send(runner.resume_value)
         except StopIteration:

@@ -15,7 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.mechanism import create_mechanism
 
@@ -96,8 +96,19 @@ class Machine:
         )
         return channels, injections, trace_tail
 
-    def run(self, program: Program, max_steps: int = 50_000_000) -> RunStats:
-        """Co-simulate ``program`` to completion; returns per-thread stats."""
+    def run(
+        self,
+        program: Program,
+        max_steps: int = 50_000_000,
+        wall_clock_budget: Optional[float] = None,
+    ) -> RunStats:
+        """Co-simulate ``program`` to completion; returns per-thread stats.
+
+        ``wall_clock_budget`` bounds the *host* seconds the run may consume
+        (None = unbounded): a run that outlives it raises
+        :class:`~repro.sim.cosim.WallClockExceededError` with a full
+        post-mortem attached — the campaign watchdog's in-process layer.
+        """
         if self._ran:
             raise RuntimeError(
                 "a Machine accumulates cache/queue state; build a fresh one per run"
@@ -123,6 +134,7 @@ class Machine:
             max_steps=max_steps,
             context_probe=self._forensics_probe,
             trace=self.trace,
+            wall_clock_budget=wall_clock_budget,
         ).run()
         return RunStats(
             threads=[self.cores[i].stats for i in range(program.n_threads)]
@@ -130,7 +142,13 @@ class Machine:
 
 
 def run_program(
-    config: MachineConfig, mechanism: str, program: Program, max_steps: int = 50_000_000
+    config: MachineConfig,
+    mechanism: str,
+    program: Program,
+    max_steps: int = 50_000_000,
+    wall_clock_budget: Optional[float] = None,
 ) -> RunStats:
     """One-shot convenience: build a Machine, run, return stats."""
-    return Machine(config, mechanism=mechanism).run(program, max_steps=max_steps)
+    return Machine(config, mechanism=mechanism).run(
+        program, max_steps=max_steps, wall_clock_budget=wall_clock_budget
+    )

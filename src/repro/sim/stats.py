@@ -20,6 +20,8 @@ time, and a rich set of event counters used by tests and the Figure 8 ratios.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
@@ -162,6 +164,25 @@ class ThreadStats:
     def component_sum(self) -> float:
         return sum(self.components.values())
 
+    def canonical(self) -> Dict[str, object]:
+        """Order-stable plain-data view of every counter, for fingerprinting."""
+        return {
+            "thread_id": self.thread_id,
+            "cycles": self.cycles,
+            "app_instructions": self.app_instructions,
+            "comm_instructions": self.comm_instructions,
+            "produces": self.produces,
+            "consumes": self.consumes,
+            "queue_full_stall": self.queue_full_stall,
+            "queue_empty_stall": self.queue_empty_stall,
+            "spin_reissues": self.spin_reissues,
+            "ozq_backpressure_events": self.ozq_backpressure_events,
+            "stream_cache_hits": self.stream_cache_hits,
+            "stream_cache_misses": self.stream_cache_misses,
+            "lines_forwarded": self.lines_forwarded,
+            "components": {name: self.components[name] for name in COMPONENTS},
+        }
+
     def normalized_components(self, baseline_cycles: float) -> Dict[str, float]:
         """Components rescaled so their sum equals cycles/baseline_cycles.
 
@@ -209,6 +230,28 @@ class RunStats:
         for the K-stage pipelines of :mod:`repro.pipeline`.
         """
         return self.thread(max(t.thread_id for t in self.threads))
+
+    def fingerprint(self) -> str:
+        """Stable hash of every counter of every thread of this run.
+
+        The simulator is deterministic end to end (seeded
+        :class:`~repro.faults.plan.FaultPlan` RNG, ordered scheduler
+        tie-breaks), so re-running a cell with the same configuration must
+        reproduce this value byte for byte.  The campaign ledger records it
+        per completed cell, turning that determinism promise into a checked
+        invariant and a golden-regression store for CI.
+
+        Canonical form: compact JSON with sorted keys over
+        :meth:`ThreadStats.canonical`, SHA-256, first 16 hex digits (64 bits
+        — ample for grid-sized collections, short enough to eyeball in the
+        ledger).
+        """
+        payload = json.dumps(
+            [t.canonical() for t in self.threads],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
 
 
 def geomean(values: Iterable[float]) -> float:

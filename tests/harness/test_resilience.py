@@ -106,9 +106,13 @@ class TestSweepIsolation:
 
 class TestFigureGapMarkers:
     def test_figure_renders_gap_for_failed_cell(self, monkeypatch):
-        real = experiments.run_benchmark_resilient
+        # Figures dispatch per-cell through campaign.execute_cell, so the
+        # injection seam is the campaign module's run_benchmark_resilient.
+        from repro.harness import campaign
 
-        def flaky(benchmark, design_point, trip_count=None, config=None):
+        real = campaign.run_benchmark_resilient
+
+        def flaky(benchmark, design_point, trip_count=None, **kwargs):
             if benchmark == "wc":
                 return FailedRun(
                     benchmark=benchmark,
@@ -117,9 +121,9 @@ class TestFigureGapMarkers:
                     error="injected for test",
                     post_mortem=None,
                 )
-            return real(benchmark, design_point, trip_count, config=config)
+            return real(benchmark, design_point, trip_count, **kwargs)
 
-        monkeypatch.setattr(experiments, "run_benchmark_resilient", flaky)
+        monkeypatch.setattr(campaign, "run_benchmark_resilient", flaky)
         result = experiments.figure8(scale=0.1)
         assert result.failures and result.failures[0].benchmark == "wc"
         assert result.data["ratios"]["wc"]["producer"] is None
