@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Checkpoint/restore walkthrough: snapshot a run mid-flight, kill it,
+resume it, and verify the result is bit-identical to never crashing.
+
+Four acts:
+
+1. run wc/EXISTING uninterrupted and record its fingerprint;
+2. run it again with a ``Checkpointer``, preempting after two snapshots
+   (exactly what a campaign worker does on SIGTERM);
+3. recover the snapshot from disk — corrupting the newest generation
+   first, to watch quarantine + ``.prev`` fallback do their job;
+4. resume and compare fingerprints.
+
+    PYTHONPATH=src python examples/checkpoint_restore.py
+
+The campaign runner automates all of this per cell:
+``python -m repro campaign run --grid figure7 --ledger l.jsonl
+--checkpoint-every 20000``.
+"""
+
+import argparse
+import os
+import tempfile
+
+from repro import (
+    Checkpointer,
+    Machine,
+    PreemptionRequested,
+    recover_snapshot,
+    resume_run,
+)
+from repro.core.design_points import get_design_point
+from repro.workloads.suite import build_pipelined
+
+
+def build_machine():
+    point = get_design_point("EXISTING")
+    return Machine(point.build_config(), mechanism=point.mechanism)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trips", type=int, default=800)
+    parser.add_argument("--every", type=int, default=20_000,
+                        help="simulated cycles between snapshots")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="ckpt-demo-")
+    path = os.path.join(workdir, "wc.ckpt")
+    program = lambda: build_pipelined("wc", trip_count=args.trips)  # noqa: E731
+
+    # -- 1: the uninterrupted reference ---------------------------------
+    ref = build_machine().run(program())
+    print(f"uninterrupted: {ref.cycles:.0f} cycles, "
+          f"fingerprint {ref.fingerprint()}")
+
+    # -- 2: checkpoint, then preempt ------------------------------------
+    ckpt = Checkpointer(every=args.every, path=path)
+
+    def on_snapshot(snapshot, snapshot_path):
+        print(f"  snapshot {ckpt.snapshots_taken} at cycle "
+              f"{snapshot.cycle:.0f} -> {snapshot_path}")
+        if ckpt.snapshots_taken >= 2:
+            ckpt.request_preempt()  # as a SIGTERM handler would
+
+    ckpt.on_snapshot = on_snapshot
+    try:
+        build_machine().run(program(), checkpoint=ckpt)
+        raise SystemExit("run finished before the preemption — raise --trips")
+    except PreemptionRequested as exc:
+        print(f"preempted at cycle {exc.cycle:.0f}; worker would exit now")
+
+    # -- 3: corrupt the newest generation, then recover ------------------
+    with open(path, "r+b") as fh:
+        fh.seek(-64, os.SEEK_END)
+        fh.write(b"\xff" * 16)
+    print("corrupted the newest snapshot (simulated torn write)")
+    recovered = recover_snapshot(path)
+    assert recovered is not None, "both generations lost — cold start"
+    print(f"recovered from {os.path.basename(recovered.path)} "
+          f"(fallback: {recovered.used_fallback}; "
+          f"quarantined: {[os.path.basename(q) for q in recovered.quarantined]})")
+
+    # -- 4: resume and verify --------------------------------------------
+    resumed = resume_run(recovered.snapshot, program())
+    print(f"resumed:       {resumed.cycles:.0f} cycles, "
+          f"fingerprint {resumed.fingerprint()}")
+    assert resumed.fingerprint() == ref.fingerprint(), "divergence!"
+    print("fingerprints match: kill -> restore -> continue == never crashed")
+
+
+if __name__ == "__main__":
+    main()

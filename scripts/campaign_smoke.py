@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Crash/resume smoke for the campaign runner — the CI acceptance drill.
 
-The drill:
+Phase 1, the crash/resume drill:
 
 1. launch ``python -m repro campaign run --grid smoke --jobs 2`` as a
    subprocess;
@@ -13,6 +13,12 @@ The drill:
    point of the ledger — every cell has exactly ONE cell-end record:
    resume never re-ran work that had already finished.
 
+Phase 2, the checkpoint drill: run one long cell with checkpointing on,
+SIGKILL the *worker process* (not the campaign) as soon as the first
+snapshot is journalled, and assert the retried attempt resumed from the
+checkpoint — ``resumed_from_cycle > 0`` in the done record, never cycle
+0 — with a fingerprint identical to an uninterrupted serial run.
+
 Exits 0 on success, 1 with a diagnosis on any violated property.
 """
 
@@ -21,13 +27,21 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from collections import Counter
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-from repro.harness.campaign import CampaignLedger, campaign_status  # noqa: E402
+from repro.harness.campaign import (  # noqa: E402
+    CampaignCell,
+    CampaignLedger,
+    CampaignPolicy,
+    campaign_status,
+    execute_cell,
+    run_campaign,
+)
 
 #: Scale for the smoke grid: big enough that 8 cells take several seconds
 #: total, so the SIGKILL reliably lands mid-campaign.
@@ -64,6 +78,106 @@ def _cell_ends(ledger: str) -> Counter:
 def fail(msg: str) -> None:
     print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def _child_pids() -> list:
+    """PIDs whose parent is this process (Linux /proc walk)."""
+    me = str(os.getpid())
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as fh:
+                data = fh.read()
+        except OSError:
+            continue
+        # Fields after the parenthesized comm: state, ppid, ...
+        ppid = data[data.rindex(")") + 1 :].split()[1]
+        if ppid != me:
+            continue
+        try:
+            with open(f"/proc/{entry}/cmdline", "rb") as fh:
+                cmdline = fh.read()
+        except OSError:
+            continue
+        # Spare multiprocessing's bookkeeping helpers; kill only workers.
+        if b"resource_tracker" in cmdline or b"semaphore_tracker" in cmdline:
+            continue
+        pids.append(int(entry))
+    return pids
+
+
+def checkpoint_drill() -> None:
+    """SIGKILL a worker mid-cell; assert resume-from-checkpoint."""
+    ledger = os.environ.get("CAMPAIGN_CKPT_LEDGER") or os.path.join(
+        tempfile.mkdtemp(prefix="campaign-ckpt-"), "ledger.jsonl"
+    )
+    print(f"checkpoint drill ledger: {ledger}")
+    cell = CampaignCell(benchmark="wc", design_point="EXISTING", trip_count=3000)
+    ref = execute_cell(CampaignCell.from_spec(cell.spec()))
+    print(f"reference fingerprint: {ref.fingerprint()} ({ref.cycles} cycles)")
+
+    killed = threading.Event()
+
+    def assassin() -> None:
+        deadline = time.monotonic() + LAUNCH_TIMEOUT_S
+        while time.monotonic() < deadline:
+            recs = CampaignLedger.read(ledger) if os.path.exists(ledger) else []
+            if any(r.get("event") == "cell-ckpt" for r in recs):
+                for pid in _child_pids():
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+                killed.set()
+                return
+            time.sleep(POLL_S)
+
+    thread = threading.Thread(target=assassin, daemon=True)
+    thread.start()
+    policy = CampaignPolicy(
+        jobs=1, max_attempts=6, backoff_base=0.01, checkpoint_every=8000
+    )
+    report = run_campaign([cell], policy, ledger_path=ledger)
+    thread.join(timeout=5)
+    if not killed.is_set():
+        fail("no snapshot was journalled before the cell finished")
+
+    outcome = report.outcomes[cell.key()]
+    if not outcome.ok:
+        fail(f"cell did not complete: {outcome.error_type}: {outcome.error}")
+    if outcome.fingerprint() != ref.fingerprint():
+        fail(
+            "resumed fingerprint diverged: "
+            f"{outcome.fingerprint()} != {ref.fingerprint()}"
+        )
+    records = CampaignLedger.read(ledger)
+    deaths = [r for r in records if r.get("status") == "worker-died"]
+    if not deaths:
+        fail("ledger shows no worker-died record despite the SIGKILL")
+    if not all(r.get("transient") for r in deaths):
+        fail("worker-died records must be transient (retryable)")
+    done = [r for r in records if r.get("status") == "done"]
+    if len(done) != 1:
+        fail(f"expected exactly one done record, got {len(done)}")
+    resumed_from = done[0].get("resumed_from_cycle")
+    if not resumed_from or resumed_from <= 0:
+        fail(
+            "retried attempt restarted from cycle 0 instead of the "
+            f"checkpoint (resumed_from_cycle={resumed_from!r})"
+        )
+    leftovers = [
+        f
+        for f in os.listdir(ledger + ".ckpt")
+        if f.endswith(".ckpt") or f.endswith(".prev")
+    ]
+    if leftovers:
+        fail(f"snapshots not discarded after success: {leftovers}")
+    print(
+        f"OK: worker SIGKILLed mid-cell; resumed from cycle "
+        f"{resumed_from:.0f} of {ref.cycles}, fingerprint intact"
+    )
 
 
 def main() -> None:
@@ -122,6 +236,9 @@ def main() -> None:
         f"OK: {len(ends)} cells complete, "
         f"{len(done_at_kill)} pre-kill cell(s) untouched by resume"
     )
+
+    # -- phase 2: worker SIGKILL + resume-from-checkpoint ---------------
+    checkpoint_drill()
 
 
 if __name__ == "__main__":

@@ -69,6 +69,7 @@ from repro.harness.campaign import (
 from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentResult, run_all, sweep
 from repro.harness.runner import (
     FailedRun,
+    PreemptedRun,
     RunOutcome,
     RunResult,
     TimedOutRun,
@@ -82,6 +83,19 @@ from repro.pipeline import (
     lower_pipeline,
     partition_loop_k,
     pipeline_scaling,
+)
+from repro.sim.checkpoint import (
+    Checkpointer,
+    MachineSnapshot,
+    PreemptionRequested,
+    SnapshotCorruptError,
+    SnapshotError,
+    inspect_snapshot,
+    quarantine_snapshot,
+    read_snapshot,
+    recover_snapshot,
+    resume_run,
+    write_snapshot,
 )
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.cosim import (
@@ -132,6 +146,7 @@ __all__ = [
     "CampaignLedger",
     "CampaignPolicy",
     "CampaignReport",
+    "Checkpointer",
     "CommOpProfiler",
     "CommOpReport",
     "DeadlockError",
@@ -144,13 +159,18 @@ __all__ = [
     "FaultRule",
     "Machine",
     "MachineConfig",
+    "MachineSnapshot",
     "PostMortem",
+    "PreemptedRun",
+    "PreemptionRequested",
     "Program",
     "RunOutcome",
     "RunResult",
     "RunStats",
     "SimulationError",
     "SimulationLimitError",
+    "SnapshotCorruptError",
+    "SnapshotError",
     "ThreadProgram",
     "ThreadStats",
     "TimedOutRun",
@@ -175,12 +195,17 @@ __all__ = [
     "execute_cell",
     "geomean",
     "get_design_point",
+    "inspect_snapshot",
     "lower_pipeline",
     "measure_comm_ops",
     "partition_loop_k",
     "pipeline_scaling",
     "occupancy_plateaus",
+    "quarantine_snapshot",
     "queue_occupancy",
+    "read_snapshot",
+    "recover_snapshot",
+    "resume_run",
     "run_all",
     "run_benchmark",
     "run_benchmark_resilient",
@@ -196,5 +221,6 @@ __all__ = [
     "with_queue_depth",
     "with_transit_delay",
     "write_chrome_trace",
+    "write_snapshot",
     "write_csv",
 ]

@@ -10,6 +10,11 @@ Examples::
     python -m repro campaign run --grid figure7 --ledger fig7.jsonl --jobs 4
     python -m repro campaign status --ledger fig7.jsonl
     python -m repro campaign resume --grid figure7 --ledger fig7.jsonl --jobs 4
+
+    # Checkpoint every 20k simulated cycles: killed/preempted cells resume
+    # mid-run (bit-identically) instead of restarting from cycle 0.
+    python -m repro campaign run --grid pipeline --ledger pipe.jsonl \\
+        --jobs 4 --checkpoint-every 20000
 """
 
 from __future__ import annotations
@@ -178,6 +183,25 @@ def _build_parser() -> argparse.ArgumentParser:
                 "determinism fingerprints against the ledger's golden values"
             ),
         )
+        p.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="CYCLES",
+            help=(
+                "snapshot each cell every N simulated cycles so killed or "
+                "preempted workers resume mid-run instead of from cycle 0 "
+                "(default: off)"
+            ),
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            help=(
+                "directory for per-cell snapshot files "
+                "(default: <ledger>.ckpt next to the ledger)"
+            ),
+        )
     cstatus = csub.add_parser("status", help="summarize a campaign ledger")
     cstatus.add_argument("--ledger", required=True)
     return parser
@@ -204,6 +228,8 @@ def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
         wall_clock_budget=args.budget,
         max_attempts=args.max_attempts,
         recheck=args.recheck,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
     report = run_campaign(
         cells,

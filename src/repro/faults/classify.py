@@ -12,10 +12,13 @@ consumed.  That guarantee cuts the failure space cleanly in two:
   campaign runner fails these fast and keeps the diagnosis.
 
 * **Transient** — failures produced *by the host*: a wall-clock watchdog
-  kill (:class:`~repro.harness.runner.TimedOutRun`), or a worker process
-  that died without reporting (OOM kill, operator signal).  These depend on
-  machine load, not on the simulated program, so the campaign runner retries
-  them with seeded exponential backoff.
+  kill (:class:`~repro.harness.runner.TimedOutRun`), a worker process that
+  died without reporting (OOM kill, operator signal), a graceful preemption
+  (:class:`~repro.harness.runner.PreemptedRun` — the worker checkpointed
+  first), or an I/O failure while writing the ledger or a checkpoint
+  (``ENOSPC``, ``EIO``, ...).  These depend on machine load and disk
+  health, not on the simulated program, so the campaign runner retries them
+  with seeded exponential backoff.
 
 The classifier keys on ``error_type`` strings rather than exception classes
 because the campaign ledger round-trips outcomes through JSON — a resumed
@@ -35,6 +38,18 @@ TRANSIENT_ERROR_TYPES = frozenset(
         "WallClockExceededError",  # in-process watchdog fired
         "TimedOutRun",  # hard kill by the pool watchdog
         "WorkerDiedError",  # worker exited without reporting an outcome
+        "PreemptedRun",  # worker checkpointed and exited on SIGTERM
+        # Host I/O failures during ledger or checkpoint writes: a full or
+        # flaky disk (ENOSPC, EIO, ...) says nothing about the simulated
+        # program, so the campaign retries with backoff instead of crashing
+        # the loop.  All OSError flavors surface under these names.
+        "OSError",
+        "IOError",  # alias of OSError, but workers report the raised name
+        "BlockingIOError",
+        "InterruptedError",
+        "TimeoutError",
+        "LedgerWriteError",  # ledger append exhausted its own retries
+        "CheckpointWriteError",  # snapshot persist exhausted its own retries
     }
 )
 

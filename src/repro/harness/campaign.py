@@ -44,6 +44,18 @@ retryable, durably-recorded unit of work*:
   the simulator's determinism guarantee as a checked invariant, and a
   golden-regression store for CI.
 
+* **Checkpoints** (``CampaignPolicy.checkpoint_every``): workers snapshot
+  the whole machine every N simulated cycles
+  (:mod:`repro.sim.checkpoint`), journal each snapshot to the parent as a
+  :class:`CheckpointNote` (a ``cell-ckpt`` ledger event), and resume a
+  killed or preempted cell from its latest valid snapshot instead of cycle
+  0 — with the resumed fingerprint bit-identical to an uninterrupted run.
+  SIGTERM becomes graceful preemption: the worker checkpoints at the next
+  safe point, records a :class:`~repro.harness.runner.PreemptedRun`
+  (transient, never terminal, never consuming a retry attempt), and exits
+  cleanly.  Corrupt snapshots are quarantined and recovery falls back to
+  the previous generation or a cold start — never silently loaded.
+
 The serial in-process path (:func:`execute_cell` cell by cell) remains the
 default everywhere — :mod:`repro.harness.experiments` only dispatches
 through the pool when asked for ``jobs > 1`` — so existing entry points and
@@ -58,6 +70,7 @@ import json
 import multiprocessing
 import os
 import random
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -69,13 +82,23 @@ from repro.faults.classify import FailureClass, classify_outcome
 from repro.faults.plan import FaultKind, FaultPlan, FaultRule
 from repro.harness.runner import (
     FailedRun,
+    PreemptedRun,
     RunOutcome,
     RunResult,
     TimedOutRun,
-    run_benchmark_resilient,
-    run_single_threaded,
+)
+from repro.sim.checkpoint import (
+    Checkpointer,
+    MachineSnapshot,
+    PreemptionRequested,
+    SnapshotError,
+    recover_snapshot,
+    resume_run,
 )
 from repro.sim.cosim import SimulationError, WallClockExceededError
+from repro.sim.machine import Machine
+from repro.sim.program import Program
+from repro.sim.stats import RunStats
 
 __all__ = [
     "CampaignCell",
@@ -83,7 +106,9 @@ __all__ = [
     "CampaignPolicy",
     "CampaignReport",
     "CellHistory",
+    "CheckpointNote",
     "campaign_status",
+    "cell_checkpoint_path",
     "execute_cell",
     "fault_plan_from_spec",
     "render_status",
@@ -236,55 +261,90 @@ def _build_config(cell: CampaignCell):
     return cfg.validate()
 
 
-def _execute_single(cell: CampaignCell, budget: Optional[float]) -> RunOutcome:
-    try:
-        return run_single_threaded(
-            cell.benchmark, cell.trip_count, wall_clock_budget=budget
-        )
-    except WallClockExceededError as exc:
-        return TimedOutRun(
-            benchmark=cell.benchmark,
-            design_point="SINGLE",
-            budget=exc.budget,
-            elapsed=exc.elapsed,
-            error=str(exc).splitlines()[0],
-            detail=str(exc),
-            post_mortem=exc.post_mortem,
-        )
-    except SimulationError as exc:
-        return FailedRun(
-            benchmark=cell.benchmark,
-            design_point="SINGLE",
-            error_type=type(exc).__name__,
-            error=str(exc).splitlines()[0],
-            detail=str(exc),
-            post_mortem=exc.post_mortem,
-        )
+@dataclass
+class CellPlan:
+    """Everything needed to run — or *resume* — one cell, precomputed.
+
+    The three cell kinds used to carry three bespoke executors; checkpoint
+    resume needs their common denominator made explicit: a machine config,
+    a mechanism, a deterministic program builder (called again on resume to
+    replay instruction streams up to the snapshot cursors), and a ``finish``
+    hook deriving the cell's :class:`RunResult` (the pipeline kind computes
+    per-hop delays from the restored trace buffer there).
+    """
+
+    #: Design-point label used in failure records (e.g. ``EXISTING/K=4``).
+    design_label: str
+    config: object
+    mechanism: str
+    build_program: Callable[[], Program]
+    finish: Callable[[Machine, RunStats], RunResult]
 
 
-def _execute_pipeline(cell: CampaignCell, budget: Optional[float]) -> RunOutcome:
+def _plan_benchmark(cell: CampaignCell) -> CellPlan:
+    from repro.workloads.suite import benchmark_info, build_pipelined
+
+    point = get_design_point(cell.design_point)
+    benchmark_info(cell.benchmark)  # validate the name early
+    cfg = _build_config(cell)
+    if cfg is not None:
+        point.validate_config(cfg)
+    else:
+        cfg = point.build_config()
+
+    def finish(machine: Machine, stats: RunStats) -> RunResult:
+        return RunResult(
+            benchmark=cell.benchmark,
+            design_point=cell.design_point,
+            cycles=stats.cycles,
+            stats=stats,
+            machine=machine,
+            trace=machine.trace,
+        )
+
+    return CellPlan(
+        design_label=cell.design_point,
+        config=cfg,
+        mechanism=point.mechanism,
+        build_program=lambda: build_pipelined(cell.benchmark, cell.trip_count),
+        finish=finish,
+    )
+
+
+def _plan_single(cell: CampaignCell) -> CellPlan:
+    from repro.workloads.suite import build_single_threaded
+
+    point = get_design_point("HEAVYWT")  # mechanism is unused without queues
+
+    def finish(machine: Machine, stats: RunStats) -> RunResult:
+        return RunResult(
+            benchmark=cell.benchmark,
+            design_point="SINGLE",
+            cycles=stats.cycles,
+            stats=stats,
+            machine=machine,
+            trace=machine.trace,
+        )
+
+    return CellPlan(
+        design_label="SINGLE",
+        config=point.build_config(),
+        mechanism=point.mechanism,
+        build_program=lambda: build_single_threaded(
+            cell.benchmark, cell.trip_count
+        ),
+        finish=finish,
+    )
+
+
+def _plan_pipeline(cell: CampaignCell) -> CellPlan:
     # Imported lazily: repro.pipeline.scaling reaches back into the harness,
     # and the pipeline modules are only needed for pipeline-kind cells.
-    from repro.dswp.partition import PartitionError
     from repro.pipeline.codegen import lower_pipeline, plan_queue_hops
     from repro.pipeline.scaling import _per_hop_delay, build_pipeline_partition
-    from repro.sim.machine import Machine
     from repro.trace.buffer import TraceConfig
 
-    point_label = f"{cell.design_point}/K={cell.stages}"
-    try:
-        partition = build_pipeline_partition(
-            cell.benchmark, cell.stages, cell.trip_count
-        )
-    except PartitionError as exc:
-        return FailedRun(
-            benchmark=cell.benchmark,
-            design_point=point_label,
-            error_type=type(exc).__name__,
-            error=str(exc).splitlines()[0],
-            detail=str(exc),
-        )
-    program = lower_pipeline(partition)
+    partition = build_pipeline_partition(cell.benchmark, cell.stages, cell.trip_count)
     dp = get_design_point(cell.design_point)
     cfg = with_n_cores(dp.build_config(), cell.stages).copy(
         trace=TraceConfig(capacity=1 << 20, categories=("comm",))
@@ -292,13 +352,108 @@ def _execute_pipeline(cell: CampaignCell, budget: Optional[float]) -> RunOutcome
     if cell.fault_plan is not None:
         cfg.faults = cell.fault_plan
         cfg.validate()
-    machine = Machine(cfg, mechanism=dp.mechanism)
+    hop_of_queue = {qid: src for (_, src), qid in plan_queue_hops(partition).items()}
+
+    def finish(machine: Machine, stats: RunStats) -> RunResult:
+        return RunResult(
+            benchmark=cell.benchmark,
+            design_point=cell.design_point,
+            cycles=stats.cycles,
+            stats=stats,
+            machine=machine,
+            trace=machine.trace,
+            extras={
+                "stages": cell.stages,
+                "hop_delays": _per_hop_delay(machine.trace, hop_of_queue),
+                "bus_utilization": machine.mem.bus.utilization(stats.cycles),
+            },
+        )
+
+    return CellPlan(
+        design_label=f"{cell.design_point}/K={cell.stages}",
+        config=cfg,
+        mechanism=dp.mechanism,
+        build_program=lambda: lower_pipeline(partition),
+        finish=finish,
+    )
+
+
+def _plan_cell(cell: CampaignCell):
+    """Build the cell's :class:`CellPlan`, or a :class:`FailedRun`.
+
+    Only *expected, deterministic* planning failures (an unpartitionable
+    loop) become data here; usage errors still raise — the worker's
+    catch-all turns those into diagnoses with a full traceback.
+    """
+    from repro.dswp.partition import PartitionError
+
+    if cell.kind == "single":
+        return _plan_single(cell)
+    if cell.kind == "pipeline":
+        try:
+            return _plan_pipeline(cell)
+        except PartitionError as exc:
+            return FailedRun(
+                benchmark=cell.benchmark,
+                design_point=f"{cell.design_point}/K={cell.stages}",
+                error_type=type(exc).__name__,
+                error=str(exc).splitlines()[0],
+                detail=str(exc),
+            )
+    return _plan_benchmark(cell)
+
+
+def execute_cell(
+    cell: CampaignCell,
+    wall_clock_budget: Optional[float] = None,
+    checkpoint: Optional[Checkpointer] = None,
+    resume_from: Optional[MachineSnapshot] = None,
+) -> RunOutcome:
+    """Run one cell in this process; the single executor both paths share.
+
+    The serial fallback calls this directly; pool workers call it inside
+    :func:`_cell_worker`.  One code path is what makes the pooled campaign's
+    cycle counts and fingerprints bit-identical to the serial sweep's.
+
+    ``checkpoint`` snapshots the machine periodically; ``resume_from``
+    continues a previously snapshotted run instead of starting at cycle 0
+    (the worker recovers the snapshot from the cell's checkpoint file).
+    Either way the outcome — stats, fingerprint, trace — is identical to an
+    uninterrupted run.  A SIGTERM-driven preemption surfaces as a
+    :class:`~repro.harness.runner.PreemptedRun`.
+    """
+    cell.validate()
+    plan = _plan_cell(cell)
+    if isinstance(plan, FailedRun):
+        return plan
     try:
-        stats = machine.run(program, wall_clock_budget=budget)
+        program = plan.build_program()
+        if resume_from is not None:
+            machine = resume_from.machine
+            stats = resume_run(
+                resume_from,
+                program,
+                wall_clock_budget=wall_clock_budget,
+                checkpoint=checkpoint,
+            )
+        else:
+            machine = Machine(plan.config, mechanism=plan.mechanism)
+            stats = machine.run(
+                program,
+                wall_clock_budget=wall_clock_budget,
+                checkpoint=checkpoint,
+            )
+    except PreemptionRequested as exc:
+        return PreemptedRun(
+            benchmark=cell.benchmark,
+            design_point=plan.design_label,
+            cycle=exc.cycle,
+            snapshot_path=exc.path,
+        )
     except WallClockExceededError as exc:
         return TimedOutRun(
             benchmark=cell.benchmark,
-            design_point=point_label,
+            design_point=plan.design_label,
             budget=exc.budget,
             elapsed=exc.elapsed,
             error=str(exc).splitlines()[0],
@@ -308,54 +463,51 @@ def _execute_pipeline(cell: CampaignCell, budget: Optional[float]) -> RunOutcome
     except SimulationError as exc:
         return FailedRun(
             benchmark=cell.benchmark,
-            design_point=point_label,
+            design_point=plan.design_label,
             error_type=type(exc).__name__,
             error=str(exc).splitlines()[0],
             detail=str(exc),
             post_mortem=exc.post_mortem,
         )
-    hop_of_queue = {qid: src for (_, src), qid in plan_queue_hops(partition).items()}
-    return RunResult(
-        benchmark=cell.benchmark,
-        design_point=cell.design_point,
-        cycles=stats.cycles,
-        stats=stats,
-        machine=machine,
-        trace=machine.trace,
-        extras={
-            "stages": cell.stages,
-            "hop_delays": _per_hop_delay(machine.trace, hop_of_queue),
-            "bus_utilization": machine.mem.bus.utilization(stats.cycles),
-        },
-    )
-
-
-def execute_cell(
-    cell: CampaignCell, wall_clock_budget: Optional[float] = None
-) -> RunOutcome:
-    """Run one cell in this process; the single executor both paths share.
-
-    The serial fallback calls this directly; pool workers call it inside
-    :func:`_cell_worker`.  One code path is what makes the pooled campaign's
-    cycle counts and fingerprints bit-identical to the serial sweep's.
-    """
-    cell.validate()
-    if cell.kind == "single":
-        return _execute_single(cell, wall_clock_budget)
-    if cell.kind == "pipeline":
-        return _execute_pipeline(cell, wall_clock_budget)
-    return run_benchmark_resilient(
-        cell.benchmark,
-        cell.design_point,
-        cell.trip_count,
-        config=_build_config(cell),
-        wall_clock_budget=wall_clock_budget,
-    )
+    result = plan.finish(machine, stats)
+    if resume_from is not None:
+        result.extras["resumed_from_cycle"] = resume_from.cycle
+    if checkpoint is not None:
+        result.extras["checkpoints_taken"] = checkpoint.snapshots_taken
+    return result
 
 
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointNote:
+    """Mid-run journal message a worker sends after persisting a snapshot.
+
+    Flows over the same pipe as the final outcome; the parent drains notes
+    into ``cell-ckpt`` ledger events (never mistaking one for the attempt's
+    outcome), which is how ``campaign status`` knows each in-flight cell's
+    latest checkpointed cycle even after the worker is SIGKILLed.
+    """
+
+    cell: str
+    attempt: int
+    cycle: float
+    path: Optional[str]
+    #: Snapshots persisted so far in this attempt.
+    count: int = 0
+
+
+def cell_checkpoint_path(checkpoint_dir: str, cell: CampaignCell) -> str:
+    """The cell's snapshot file under the campaign's checkpoint directory.
+
+    Keys embed ``/`` (``bench/point#digest``); flatten to one filename so
+    the directory stays a flat, listable set of ``<cell>.ckpt`` files (plus
+    their ``.prev`` and ``.quarantined`` siblings).
+    """
+    return os.path.join(checkpoint_dir, cell.key().replace("/", "_") + ".ckpt")
 
 
 def _strip_for_transport(outcome: RunOutcome) -> RunOutcome:
@@ -366,7 +518,26 @@ def _strip_for_transport(outcome: RunOutcome) -> RunOutcome:
     return outcome
 
 
-def _cell_worker(conn, cell: CampaignCell, soft_budget: Optional[float]) -> None:
+def _discard_snapshots(path: Optional[str]) -> None:
+    """Best-effort removal of a cell's snapshot generations after success."""
+    if path is None:
+        return
+    for candidate in (path, path + ".prev"):
+        try:
+            os.unlink(candidate)
+        except OSError:
+            pass
+
+
+def _cell_worker(
+    conn,
+    cell: CampaignCell,
+    soft_budget: Optional[float],
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    attempt: int = 1,
+    allow_resume: bool = True,
+) -> None:
     """Process entry point: run one cell attempt, send one outcome.
 
     Usage errors (unknown names, config mismatches) intentionally raise out
@@ -374,9 +545,68 @@ def _cell_worker(conn, cell: CampaignCell, soft_budget: Optional[float]) -> None
     :class:`FailedRun` with the full traceback — because an exception that
     merely kills the worker would be indistinguishable from host-side
     interference and get retried, hiding a deterministic bug.
+
+    With checkpointing enabled the worker additionally: recovers the cell's
+    latest valid snapshot and resumes from it (``allow_resume``; recheck
+    attempts always start cold so the determinism check covers the whole
+    run); journals a :class:`CheckpointNote` to the parent after each
+    persisted snapshot; converts SIGTERM into a graceful
+    checkpoint-and-exit (:class:`~repro.harness.runner.PreemptedRun`); and
+    deletes the cell's snapshots once the run completes, so stale state can
+    never leak into a later campaign.
     """
+    checkpointer: Optional[Checkpointer] = None
     try:
-        outcome = execute_cell(cell, wall_clock_budget=soft_budget)
+        resume_from = None
+        resumed_note = ""
+        if checkpoint_every is not None:
+            if checkpoint_path is not None and allow_resume:
+                recovered = recover_snapshot(checkpoint_path)
+                if recovered is not None:
+                    resume_from = recovered.snapshot
+                    if recovered.quarantined:
+                        resumed_note = (
+                            f"quarantined corrupt snapshot(s) "
+                            f"{recovered.quarantined}; "
+                        )
+            elif checkpoint_path is not None:
+                _discard_snapshots(checkpoint_path)  # recheck runs start cold
+            checkpointer = Checkpointer(
+                every=checkpoint_every,
+                path=checkpoint_path,
+                on_snapshot=lambda snap, path: conn.send(
+                    CheckpointNote(
+                        cell=cell.key(),
+                        attempt=attempt,
+                        cycle=snap.cycle,
+                        path=path,
+                        count=checkpointer.snapshots_taken,
+                    )
+                ),
+                on_write_error=lambda exc: None,  # ENOSPC etc.: skip, not die
+            )
+            signal.signal(
+                signal.SIGTERM, lambda signum, frame: checkpointer.request_preempt()
+            )
+        try:
+            outcome = execute_cell(
+                cell,
+                wall_clock_budget=soft_budget,
+                checkpoint=checkpointer,
+                resume_from=resume_from,
+            )
+        except SnapshotError:
+            # The snapshot did not fit this cell (stale file from an older
+            # grid, version skew): fall back to cycle 0 rather than failing
+            # the attempt — losing a checkpoint must never lose the cell.
+            _discard_snapshots(checkpoint_path)
+            outcome = execute_cell(
+                cell, wall_clock_budget=soft_budget, checkpoint=checkpointer
+            )
+        if resumed_note and not outcome.ok:
+            outcome.detail = resumed_note + (outcome.detail or "")
+        if isinstance(outcome, RunResult):
+            _discard_snapshots(checkpoint_path)
     except BaseException as exc:
         outcome = FailedRun(
             benchmark=cell.benchmark,
@@ -408,6 +638,29 @@ class CellHistory:
     cycles: Optional[int] = None
     fingerprint: Optional[str] = None
     spec: Optional[Dict[str, object]] = None
+    #: Latest checkpointed simulated cycle (``cell-ckpt`` events and
+    #: preemption records), or None when the cell never snapshotted.
+    checkpoint_cycle: Optional[float] = None
+    #: Snapshot file of the latest checkpoint, when one was persisted.
+    checkpoint_path: Optional[str] = None
+    #: Wall-clock time of the latest checkpoint record.
+    checkpoint_time: Optional[float] = None
+    #: Total snapshots journalled for this cell across attempts.
+    checkpoints: int = 0
+
+
+class LedgerWriteError(OSError):
+    """A ledger append failed even after bounded retries.
+
+    Subclasses :class:`OSError` and is classified *transient* by
+    :mod:`repro.faults.classify`: the disk, not the campaign, is sick.
+    """
+
+
+#: Bounded retry schedule for ledger/checkpoint appends hitting host I/O
+#: errors (ENOSPC, EIO): attempts sleep ``LEDGER_RETRY_BASE * 2**i``.
+LEDGER_RETRIES = 5
+LEDGER_RETRY_BASE = 0.05
 
 
 class CampaignLedger:
@@ -436,29 +689,59 @@ class CampaignLedger:
             self._fd = None
 
     def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record, riding out transient host I/O errors.
+
+        A full or flaky disk (``ENOSPC``, ``EIO``) gets
+        :data:`LEDGER_RETRIES` attempts with exponential backoff before the
+        append surfaces as a :class:`LedgerWriteError` — an :class:`OSError`
+        subclass the failure classifier treats as transient, so one bad
+        write degrades a single cell attempt instead of crashing the
+        campaign loop.
+        """
         if self._fd is None:
             self.open()
-        line = json.dumps(record, sort_keys=True) + "\n"
-        os.write(self._fd, line.encode("utf-8"))
-        os.fsync(self._fd)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        last: Optional[OSError] = None
+        for i in range(LEDGER_RETRIES):
+            try:
+                os.write(self._fd, line)
+                os.fsync(self._fd)
+                return
+            except OSError as exc:
+                last = exc
+                # Terminate any partially-written fragment so the retried
+                # record starts on its own line; replay skips the fragment.
+                try:
+                    os.write(self._fd, b"\n")
+                except OSError:
+                    pass
+                time.sleep(LEDGER_RETRY_BASE * (2**i))
+        raise LedgerWriteError(
+            f"ledger append to {self.path} failed after "
+            f"{LEDGER_RETRIES} attempts: {last}"
+        ) from last
 
     # -- replay ---------------------------------------------------------
 
     @staticmethod
     def read(path: str) -> List[Dict[str, object]]:
-        """Parse every intact record; a torn final line is dropped."""
+        """Parse every intact record; torn lines are dropped.
+
+        A torn line is either the crash tail (process died mid-append) or
+        an interior fragment left by an append that hit a partial write
+        (``ENOSPC``) and was retried — the retry re-wrote the full record on
+        its own line, so skipping the fragment loses nothing.
+        """
         records: List[Dict[str, object]] = []
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.read().split("\n")
-        for i, line in enumerate(lines):
+        for line in lines:
             if not line.strip():
                 continue
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError:
-                if i == len(lines) - 1 or not lines[i + 1 :]:
-                    break  # torn tail from a crash mid-append
-                raise
+                continue
         return records
 
     @staticmethod
@@ -467,10 +750,16 @@ class CampaignLedger:
         histories: Dict[str, CellHistory] = {}
         for rec in CampaignLedger.read(path):
             event = rec.get("event")
-            if event not in ("cell-start", "cell-end"):
+            if event not in ("cell-start", "cell-end", "cell-ckpt"):
                 continue
             key = rec["cell"]
             hist = histories.setdefault(key, CellHistory(key=key))
+            if event == "cell-ckpt":
+                hist.checkpoints += 1
+                hist.checkpoint_cycle = rec.get("cycle")
+                hist.checkpoint_path = rec.get("path")
+                hist.checkpoint_time = rec.get("time")
+                continue
             hist.attempts = max(hist.attempts, int(rec.get("attempt", 0)))
             if event == "cell-start":
                 hist.in_flight = True
@@ -478,6 +767,16 @@ class CampaignLedger:
                     hist.spec = rec["spec"]
             else:
                 hist.in_flight = False
+                if rec.get("status") == "preempted":
+                    # A preemption is the host's doing, not the cell's: give
+                    # the attempt back so routine evictions on preemptible
+                    # fleets can never exhaust a cell's retry budget.
+                    hist.attempts = max(0, int(rec.get("attempt", 1)) - 1)
+                    if rec.get("cycle") is not None:
+                        hist.checkpoint_cycle = rec.get("cycle")
+                        hist.checkpoint_time = rec.get("time")
+                    if rec.get("snapshot_path"):
+                        hist.checkpoint_path = rec.get("snapshot_path")
                 if rec.get("terminal"):
                     hist.terminal = True
                     hist.status = rec.get("status")
@@ -510,6 +809,19 @@ def _outcome_record(
             status="done",
             cycles=outcome.cycles,
             fingerprint=outcome.fingerprint(),
+        )
+        if outcome.extras.get("resumed_from_cycle") is not None:
+            rec["resumed_from_cycle"] = outcome.extras["resumed_from_cycle"]
+        if outcome.extras.get("checkpoints_taken"):
+            rec["checkpoints_taken"] = outcome.extras["checkpoints_taken"]
+    elif isinstance(outcome, PreemptedRun):
+        rec.update(
+            status="preempted",
+            transient=True,
+            error_type=outcome.error_type,
+            error=outcome.error,
+            cycle=outcome.cycle,
+            snapshot_path=outcome.snapshot_path,
         )
     elif isinstance(outcome, TimedOutRun):
         rec.update(
@@ -558,6 +870,15 @@ class CampaignPolicy:
     #: Re-run cells already recorded done and verify their fingerprints
     #: instead of skipping them (golden-regression mode).
     recheck: bool = False
+    #: Simulated cycles between worker checkpoints (None = checkpointing
+    #: off).  With it on, a killed or preempted cell resumes from its latest
+    #: valid snapshot instead of cycle 0 — bit-identically, per the
+    #: checkpoint module's differential invariant.
+    checkpoint_every: Optional[int] = None
+    #: Directory for per-cell snapshot files.  ``None`` derives
+    #: ``<ledger>.ckpt/`` next to the campaign ledger (checkpointing without
+    #: a ledger then requires an explicit directory).
+    checkpoint_dir: Optional[str] = None
 
     def validate(self) -> "CampaignPolicy":
         if self.jobs < 1:
@@ -568,7 +889,19 @@ class CampaignPolicy:
             raise ValueError("wall_clock_budget must be positive (or None)")
         if self.backoff_base < 0 or self.kill_grace < 0:
             raise ValueError("backoff_base and kill_grace must be non-negative")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive (or None)")
         return self
+
+    def resolve_checkpoint_dir(self, ledger_path: Optional[str]) -> Optional[str]:
+        """Effective snapshot directory for this campaign, or ``None``."""
+        if self.checkpoint_every is None:
+            return None
+        if self.checkpoint_dir is not None:
+            return self.checkpoint_dir
+        if ledger_path is not None:
+            return str(ledger_path) + ".ckpt"
+        return None
 
     def backoff(self, cell_key: str, attempt: int) -> float:
         """Seeded exponential backoff before retry number ``attempt``."""
@@ -630,12 +963,31 @@ class _Running:
     hard_deadline: Optional[float]
 
 
-def _spawn(cell: CampaignCell, policy: CampaignPolicy, attempt: int) -> _Running:
+def _spawn(
+    cell: CampaignCell,
+    policy: CampaignPolicy,
+    attempt: int,
+    checkpoint_dir: Optional[str] = None,
+    allow_resume: bool = True,
+) -> _Running:
     ctx = multiprocessing.get_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
+    ckpt_path = (
+        cell_checkpoint_path(checkpoint_dir, cell)
+        if checkpoint_dir is not None
+        else None
+    )
     proc = ctx.Process(
         target=_cell_worker,
-        args=(child_conn, cell, policy.wall_clock_budget),
+        args=(
+            child_conn,
+            cell,
+            policy.wall_clock_budget,
+            policy.checkpoint_every,
+            ckpt_path,
+            attempt,
+            allow_resume,
+        ),
         daemon=True,
         name=f"campaign-{cell.key()}",
     )
@@ -658,14 +1010,39 @@ def _spawn(cell: CampaignCell, policy: CampaignPolicy, attempt: int) -> _Running
     )
 
 
-def _reap(running: _Running) -> RunOutcome:
-    """Collect the outcome of a finished (or dead) worker."""
-    outcome: Optional[RunOutcome] = None
+def _drain(
+    running: _Running, on_note: Callable[[_Running, CheckpointNote], None]
+) -> Optional[RunOutcome]:
+    """Consume buffered pipe messages: notes to ``on_note``, outcome back.
+
+    A worker interleaves :class:`CheckpointNote` journal messages with (at
+    most) one final outcome on the same pipe; draining notes here is what
+    keeps the pool from mistaking a mid-run checkpoint for the attempt's
+    result.  Returns the outcome if it arrived, else ``None``.
+    """
     try:
-        if running.conn.poll():
-            outcome = running.conn.recv()
+        while running.conn.poll():
+            msg = running.conn.recv()
+            if isinstance(msg, CheckpointNote):
+                on_note(running, msg)
+            else:
+                return msg
     except (EOFError, OSError):
-        outcome = None
+        pass
+    return None
+
+
+def _reap(running: _Running, outcome: Optional[RunOutcome] = None) -> RunOutcome:
+    """Collect the outcome of a finished (or dead) worker."""
+    if outcome is None:
+        try:
+            while running.conn.poll():
+                msg = running.conn.recv()
+                if not isinstance(msg, CheckpointNote):
+                    outcome = msg
+                    break
+        except (EOFError, OSError):
+            outcome = None
     running.conn.close()
     running.process.join()
     if outcome is None:
@@ -745,6 +1122,9 @@ def run_campaign(
         if resume and exists:
             histories = CampaignLedger.replay(ledger_path)
         ledger = CampaignLedger(ledger_path).open()
+    checkpoint_dir = policy.resolve_checkpoint_dir(ledger_path)
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
 
     # Seed the run queue: skip terminally-recorded cells, re-queue the rest
     # (in-flight cells keep their attempt counter so retries stay bounded
@@ -783,6 +1163,22 @@ def run_campaign(
         )
 
     running: List[_Running] = []
+    draining = False
+
+    def handle_note(r: _Running, msg: CheckpointNote) -> None:
+        """Journal one worker checkpoint into the ledger (``cell-ckpt``)."""
+        if ledger is not None:
+            ledger.append(
+                {
+                    "event": "cell-ckpt",
+                    "cell": msg.cell,
+                    "attempt": msg.attempt,
+                    "cycle": msg.cycle,
+                    "path": msg.path,
+                    "count": msg.count,
+                    "time": time.time(),
+                }
+            )
 
     def record_outcome(cell: CampaignCell, attempt: int, outcome: RunOutcome) -> None:
         nonlocal seq_counter
@@ -806,16 +1202,20 @@ def run_campaign(
             )
             report.mismatches.append(key)
         verdict = classify_outcome(outcome)
-        retryable = (
-            verdict is FailureClass.TRANSIENT and attempt < policy.max_attempts
+        # Preemptions are the host's doing: they stay resumable however many
+        # attempts the cell has consumed, and retrying one repeats the SAME
+        # attempt number so evictions never exhaust a retry budget.
+        preempted = isinstance(outcome, PreemptedRun)
+        resumable = verdict is FailureClass.TRANSIENT and (
+            preempted or attempt < policy.max_attempts
         )
         elapsed = time.monotonic() - start_times.pop(key, now)
         if ledger is not None:
-            rec = _outcome_record(cell, attempt, outcome, not retryable, elapsed)
+            rec = _outcome_record(cell, attempt, outcome, not resumable, elapsed)
             if report.mismatches and report.mismatches[-1] == key:
                 rec["status"] = "fingerprint-mismatch"
             ledger.append(rec)
-        if retryable:
+        if resumable and not draining:
             delay = policy.backoff(key, attempt)
             report.retries += 1
             note(
@@ -823,12 +1223,20 @@ def run_campaign(
                 f"backoff {delay:.2f}s)"
             )
             heapq.heappush(
-                heap, (time.monotonic() + delay, seq_counter, cell, attempt + 1)
+                heap,
+                (
+                    time.monotonic() + delay,
+                    seq_counter,
+                    cell,
+                    attempt if preempted else attempt + 1,
+                ),
             )
             seq_counter += 1
         else:
             report.outcomes[key] = outcome
             state = "done" if outcome.ok else f"FAILED ({outcome.error_type})"
+            if preempted:
+                state = f"preempted at cycle {outcome.cycle:.0f} (resumable)"
             note(f"  {key} {state} [{elapsed:.2f}s, attempt {attempt}]")
 
     start_times: Dict[str, float] = {}
@@ -849,7 +1257,17 @@ def run_campaign(
                             "spec": cell.spec(),
                         }
                     )
-                running.append(_spawn(cell, policy, attempt))
+                running.append(
+                    _spawn(
+                        cell,
+                        policy,
+                        attempt,
+                        checkpoint_dir=checkpoint_dir,
+                        # Recheck re-runs must cover the whole run from
+                        # cycle 0 — resuming would verify only the tail.
+                        allow_resume=cell.key() not in golden,
+                    )
+                )
 
             if not running:
                 # Pool idle but a backoff delay is pending: sleep it off.
@@ -873,18 +1291,38 @@ def run_campaign(
             still_running: List[_Running] = []
             for r in running:
                 now = time.monotonic()
-                if r.conn.poll() or not r.process.is_alive():
-                    record_outcome(r.cell, r.attempt, _reap(r))
+                outcome = _drain(r, handle_note)
+                if outcome is not None or not r.process.is_alive():
+                    record_outcome(r.cell, r.attempt, _reap(r, outcome))
                 elif r.hard_deadline is not None and now >= r.hard_deadline:
                     record_outcome(r.cell, r.attempt, _kill(r))
                 else:
                     still_running.append(r)
             running = still_running
     finally:
+        draining = True
+        # Graceful preemption: SIGTERM first, so checkpoint-enabled workers
+        # snapshot at the next safe point and report a PreemptedRun before
+        # exiting; anything still alive after the grace window is killed
+        # (its cell-start stays unmatched, so resume re-queues it).
         for r in running:
-            r.process.kill()
-            r.process.join()
-            r.conn.close()
+            r.process.terminate()
+        grace_deadline = time.monotonic() + max(policy.kill_grace, 0.1)
+        for r in running:
+            outcome = None
+            while time.monotonic() < grace_deadline:
+                outcome = _drain(r, handle_note)
+                if outcome is not None or not r.process.is_alive():
+                    break
+                time.sleep(0.02)
+            if outcome is None:
+                outcome = _drain(r, handle_note)
+            if outcome is not None:
+                record_outcome(r.cell, r.attempt, _reap(r, outcome))
+            else:
+                r.process.kill()
+                r.process.join()
+                r.conn.close()
         if ledger is not None:
             ledger.append(
                 {
@@ -931,18 +1369,51 @@ def run_cells(
 # ----------------------------------------------------------------------
 
 
+def _checkpoint_entry(hist: CellHistory, now: float) -> Optional[Dict[str, object]]:
+    """Per-cell checkpoint progress: cycle, snapshot path validity, and age.
+
+    Age prefers the snapshot file's mtime (survives ledger truncation and
+    reflects the atomic rename, not the journal note); the ledger record
+    time is the fallback when the file is gone.
+    """
+    if hist.checkpoint_cycle is None and hist.checkpoints == 0:
+        return None
+    entry: Dict[str, object] = {
+        "cycle": hist.checkpoint_cycle,
+        "count": hist.checkpoints,
+        "path": hist.checkpoint_path,
+        "on_disk": False,
+        "age": None,
+    }
+    if hist.checkpoint_path is not None and os.path.exists(hist.checkpoint_path):
+        entry["on_disk"] = True
+        try:
+            entry["age"] = max(0.0, now - os.path.getmtime(hist.checkpoint_path))
+        except OSError:
+            entry["age"] = None
+    elif hist.checkpoint_time is not None:
+        entry["age"] = max(0.0, now - hist.checkpoint_time)
+    return entry
+
+
 def campaign_status(ledger_path: str) -> Dict[str, object]:
     """Summarize a ledger: counts by status, in-flight cells, fingerprints.
 
     Returns a plain dict (CLI-renderable and test-assertable):
     ``{"cells": N, "by_status": {...}, "in_flight": [...], "complete": bool,
-    "attempts": total, "fingerprints": {key: fp}}``.
+    "attempts": total, "fingerprints": {key: fp},
+    "checkpoints": {key: {"cycle", "count", "path", "on_disk", "age"}}}``.
+    The ``checkpoints`` map holds every cell that journalled a snapshot —
+    the recovery story of each in-flight or preempted cell at a glance:
+    which cycle it would resume from and how stale that snapshot is.
     """
     histories = CampaignLedger.replay(ledger_path)
     by_status: Dict[str, int] = {}
     in_flight: List[str] = []
     fingerprints: Dict[str, str] = {}
+    checkpoints: Dict[str, Dict[str, object]] = {}
     attempts = 0
+    now = time.time()
     for hist in histories.values():
         attempts += hist.attempts
         if hist.in_flight:
@@ -953,6 +1424,12 @@ def campaign_status(ledger_path: str) -> Dict[str, object]:
             by_status["interrupted"] = by_status.get("interrupted", 0) + 1
         if hist.fingerprint is not None:
             fingerprints[hist.key] = hist.fingerprint
+        # Checkpoint progress matters for cells that may still resume; a
+        # successfully-done cell's snapshots were already discarded.
+        if not (hist.terminal and hist.status == "done"):
+            ckpt = _checkpoint_entry(hist, now)
+            if ckpt is not None:
+                checkpoints[hist.key] = ckpt
     return {
         "cells": len(histories),
         "by_status": by_status,
@@ -962,17 +1439,47 @@ def campaign_status(ledger_path: str) -> Dict[str, object]:
         and bool(histories),
         "attempts": attempts,
         "fingerprints": fingerprints,
+        "checkpoints": checkpoints,
     }
+
+
+def _render_age(age: Optional[float]) -> str:
+    if age is None:
+        return "age unknown"
+    if age < 120:
+        return f"{age:.0f}s old"
+    if age < 7200:
+        return f"{age / 60:.1f}min old"
+    return f"{age / 3600:.1f}h old"
 
 
 def render_status(status: Dict[str, object]) -> str:
     """Human-readable one-screen rendering of :func:`campaign_status`."""
+    checkpoints: Dict[str, Dict[str, object]] = status.get("checkpoints", {})
+
+    def ckpt_suffix(key: str) -> str:
+        entry = checkpoints.get(key)
+        if entry is None:
+            return ""
+        cycle = entry.get("cycle")
+        where = "on disk" if entry.get("on_disk") else "journalled"
+        return (
+            f" [ckpt cycle {cycle:.0f}, {where}, {_render_age(entry.get('age'))}]"
+            if cycle is not None
+            else ""
+        )
+
     lines = [f"cells recorded : {status['cells']}"]
     for name, count in sorted(status["by_status"].items()):
         lines.append(f"  {name:<20s} {count}")
     lines.append(f"attempts       : {status['attempts']}")
     lines.append(f"in flight      : {len(status['in_flight'])}")
     for key in status["in_flight"]:
-        lines.append(f"  {key} (re-queued on resume)")
+        lines.append(f"  {key} (re-queued on resume){ckpt_suffix(key)}")
+    resumable = [k for k in sorted(checkpoints) if k not in status["in_flight"]]
+    if resumable:
+        lines.append(f"checkpointed   : {len(resumable)}")
+        for key in resumable:
+            lines.append(f"  {key}{ckpt_suffix(key)}")
     lines.append(f"complete       : {'yes' if status['complete'] else 'no'}")
     return "\n".join(lines)

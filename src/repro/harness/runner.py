@@ -163,9 +163,49 @@ class TimedOutRun:
         return head
 
 
-#: What one sweep cell yields: a result, a diagnosed failure, or a watchdog
-#: kill.
-RunOutcome = Union[RunResult, FailedRun, TimedOutRun]
+@dataclass
+class PreemptedRun:
+    """A cell stopped gracefully by host preemption, with a checkpoint.
+
+    Produced when the worker received SIGTERM while checkpointing was
+    enabled: the run snapshotted at the next safe point
+    (:class:`~repro.sim.checkpoint.PreemptionRequested`), the worker
+    recorded this outcome, and exited cleanly.  Unlike a hard kill, nothing
+    is lost — ``snapshot_path`` resumes from ``cycle``, so a preemptible
+    fleet pays at most one checkpoint interval per eviction.
+
+    Classified *transient* (the host asked us to stop; the simulation is
+    healthy), and never terminal in the ledger: resume re-queues the cell,
+    whose next attempt continues from the snapshot.
+    """
+
+    benchmark: str
+    design_point: str
+    #: Simulated cycle of the snapshot taken at preemption.
+    cycle: float
+    #: Snapshot file the next attempt resumes from (None = in-memory only).
+    snapshot_path: Optional[str] = None
+    error: str = "preempted: checkpointed and exited on SIGTERM"
+    detail: str = field(repr=False, default="")
+
+    #: Mirrors ``FailedRun.error_type`` so footers/ledgers render uniformly.
+    error_type: str = "PreemptedRun"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        where = self.snapshot_path or "<memory>"
+        return (
+            f"{self.benchmark}/{self.design_point}: preempted at cycle "
+            f"{self.cycle:.0f} (snapshot {where}); resume continues from there"
+        )
+
+
+#: What one sweep cell yields: a result, a diagnosed failure, a watchdog
+#: kill, or a graceful preemption.
+RunOutcome = Union[RunResult, FailedRun, TimedOutRun, PreemptedRun]
 
 
 def _apply_trace(cfg: MachineConfig, trace: TraceKnob) -> MachineConfig:
@@ -183,6 +223,7 @@ def run_benchmark(
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
     wall_clock_budget: Optional[float] = None,
+    checkpoint=None,
 ) -> RunResult:
     """Run one benchmark on one design point.
 
@@ -204,6 +245,9 @@ def run_benchmark(
         wall_clock_budget: Host seconds the simulation may consume (None =
             unbounded); overruns raise
             :class:`~repro.sim.cosim.WallClockExceededError`.
+        checkpoint: Optional :class:`~repro.sim.checkpoint.Checkpointer`
+            snapshotting the machine every ``every`` cycles; ``None`` (the
+            default) adds zero overhead and changes nothing.
     """
     point = get_design_point(design_point)
     benchmark_info(benchmark)  # validate the name early
@@ -215,7 +259,9 @@ def run_benchmark(
     cfg = _apply_trace(cfg, trace)
     program = build_pipelined(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
-    stats = machine.run(program, wall_clock_budget=wall_clock_budget)
+    stats = machine.run(
+        program, wall_clock_budget=wall_clock_budget, checkpoint=checkpoint
+    )
     return RunResult(
         benchmark=benchmark,
         design_point=design_point,
@@ -279,6 +325,7 @@ def run_single_threaded(
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
     wall_clock_budget: Optional[float] = None,
+    checkpoint=None,
 ) -> RunResult:
     """Run the original (unpartitioned) loop on one core."""
     point = get_design_point("HEAVYWT")  # mechanism is unused without queues
@@ -286,7 +333,9 @@ def run_single_threaded(
     cfg = _apply_trace(cfg, trace)
     program = build_single_threaded(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
-    stats = machine.run(program, wall_clock_budget=wall_clock_budget)
+    stats = machine.run(
+        program, wall_clock_budget=wall_clock_budget, checkpoint=checkpoint
+    )
     return RunResult(
         benchmark=benchmark,
         design_point="SINGLE",

@@ -92,6 +92,15 @@ class CoreModel:
         #: Trace sink shared with the machine (``None`` = tracing off; every
         #: core hook is then a single ``is None`` branch).
         self.trace = machine.trace
+        #: True exactly while this core's generator is suspended at an
+        #: instruction-boundary yield of :meth:`run` (or has not started /
+        #: has finished).  At such a suspension the generator's entire
+        #: hidden state is ``instructions_run`` — the invariant the
+        #: checkpoint subsystem (:mod:`repro.sim.checkpoint`) is built on:
+        #: a machine whose live cores are all at safe points can be
+        #: serialized and later resumed by replaying each thread's
+        #: instruction stream from its cursor.
+        self.at_safe_point = True
 
     # ------------------------------------------------------------------
     # Public helpers used by communication mechanisms
@@ -237,17 +246,32 @@ class CoreModel:
     # ------------------------------------------------------------------
 
     def run(self, program: Iterable[DynInst]) -> Generator:
-        """Generator executing ``program``; yields cosim protocol messages."""
+        """Generator executing ``program``; yields cosim protocol messages.
+
+        The ``at_safe_point`` toggles bracket exactly the suspensions at
+        which the generator's state is fully described by
+        ``instructions_run``: before re-entering the loop body (a comm op
+        re-executes from scratch, so suspension at its leading heartbeat is
+        safe — nothing of instruction *k* has run yet) and at the
+        between-instruction heartbeats.  Suspensions inside ``_comm`` (queue
+        blocking, mechanism expansions) leave the flag False.
+        """
+        self.at_safe_point = False
         for inst in program:
             if inst.kind in COMM_KINDS:
+                self.at_safe_point = True
                 yield ("time", self.t_issue)
+                self.at_safe_point = False
                 yield from self._comm(inst)
             else:
                 self._plain(inst)
             self.instructions_run += 1
             if self.instructions_run % YIELD_INTERVAL == 0:
+                self.at_safe_point = True
                 yield ("time", self.t_issue)
+                self.at_safe_point = False
         self._finish()
+        self.at_safe_point = True
         yield ("time", self.stats.cycles)
 
     # ------------------------------------------------------------------

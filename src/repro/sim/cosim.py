@@ -126,6 +126,7 @@ class Scheduler:
         context_probe: Optional[ContextProbe] = None,
         trace=None,
         wall_clock_budget: Optional[float] = None,
+        checkpoint=None,
     ) -> None:
         self.runners: List[CoreRunner] = [
             CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
@@ -141,6 +142,13 @@ class Scheduler:
         #: Optional :class:`~repro.trace.buffer.TraceBuffer`; ``None`` keeps
         #: every scheduler hook to a single branch (zero-overhead contract).
         self.trace = trace
+        #: Optional :class:`~repro.sim.checkpoint.Checkpointer`, pinned like
+        #: ``trace``: ``None`` (the default) reduces the hook to one branch
+        #: per scheduler step.  When set, its ``on_step`` runs after every
+        #: step and snapshots the machine at due safe points.  Checkpointing
+        #: never mutates simulation state, so enabling it cannot change
+        #: RunStats or the trace stream.
+        self.checkpoint = checkpoint
 
     def run(self) -> None:
         """Drive all cores to completion."""
@@ -155,6 +163,8 @@ class Scheduler:
                 continue
             runner = min(runnable, key=lambda r: r.time)
             self._step(runner)
+            if self.checkpoint is not None:
+                self.checkpoint.on_step(self)
 
     # ------------------------------------------------------------------
 

@@ -101,6 +101,7 @@ class Machine:
         program: Program,
         max_steps: int = 50_000_000,
         wall_clock_budget: Optional[float] = None,
+        checkpoint=None,
     ) -> RunStats:
         """Co-simulate ``program`` to completion; returns per-thread stats.
 
@@ -108,6 +109,12 @@ class Machine:
         (None = unbounded): a run that outlives it raises
         :class:`~repro.sim.cosim.WallClockExceededError` with a full
         post-mortem attached — the campaign watchdog's in-process layer.
+
+        ``checkpoint`` takes a :class:`~repro.sim.checkpoint.Checkpointer`
+        that snapshots the whole machine every ``every`` simulated cycles at
+        global safe points; ``None`` (the default) costs one branch per
+        scheduler step.  Checkpointing never mutates simulation state, so
+        stats and traces are identical either way.
         """
         if self._ran:
             raise RuntimeError(
@@ -129,12 +136,15 @@ class Machine:
             self.cores[i].run(thread.instructions())
             for i, thread in enumerate(program.threads)
         ]
+        if checkpoint is not None:
+            checkpoint.attach(self, program)
         Scheduler(
             generators,
             max_steps=max_steps,
             context_probe=self._forensics_probe,
             trace=self.trace,
             wall_clock_budget=wall_clock_budget,
+            checkpoint=checkpoint,
         ).run()
         return RunStats(
             threads=[self.cores[i].stats for i in range(program.n_threads)]
@@ -147,8 +157,12 @@ def run_program(
     program: Program,
     max_steps: int = 50_000_000,
     wall_clock_budget: Optional[float] = None,
+    checkpoint=None,
 ) -> RunStats:
     """One-shot convenience: build a Machine, run, return stats."""
     return Machine(config, mechanism=mechanism).run(
-        program, max_steps=max_steps, wall_clock_budget=wall_clock_budget
+        program,
+        max_steps=max_steps,
+        wall_clock_budget=wall_clock_budget,
+        checkpoint=checkpoint,
     )

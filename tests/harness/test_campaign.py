@@ -291,7 +291,7 @@ class TestWatchdogAndRetries:
         # recorded as WorkerDiedError and retried as transient.
         import repro.harness.campaign as campaign_mod
 
-        def dying_worker(conn, cell, soft_budget):
+        def dying_worker(conn, cell, soft_budget, *ckpt_args):
             os._exit(17)
 
         monkeypatch.setattr(campaign_mod, "_cell_worker", dying_worker)

@@ -107,23 +107,24 @@ class TestSweepIsolation:
 class TestFigureGapMarkers:
     def test_figure_renders_gap_for_failed_cell(self, monkeypatch):
         # Figures dispatch per-cell through campaign.execute_cell, so the
-        # injection seam is the campaign module's run_benchmark_resilient.
+        # injection seam is the campaign module's cell planner (which may
+        # legitimately return a FailedRun, e.g. for unpartitionable loops).
         from repro.harness import campaign
 
-        real = campaign.run_benchmark_resilient
+        real = campaign._plan_cell
 
-        def flaky(benchmark, design_point, trip_count=None, **kwargs):
-            if benchmark == "wc":
+        def flaky(cell):
+            if cell.benchmark == "wc":
                 return FailedRun(
-                    benchmark=benchmark,
-                    design_point=design_point,
+                    benchmark=cell.benchmark,
+                    design_point=cell.design_point,
                     error_type="DeadlockError",
                     error="injected for test",
                     post_mortem=None,
                 )
-            return real(benchmark, design_point, trip_count, **kwargs)
+            return real(cell)
 
-        monkeypatch.setattr(campaign, "run_benchmark_resilient", flaky)
+        monkeypatch.setattr(campaign, "_plan_cell", flaky)
         result = experiments.figure8(scale=0.1)
         assert result.failures and result.failures[0].benchmark == "wc"
         assert result.data["ratios"]["wc"]["producer"] is None

@@ -1,0 +1,485 @@
+"""Checkpoint/restore: format safety, quarantine, and the resume invariant.
+
+The headline property under test: kill → restore → continue produces the
+same ``RunStats.fingerprint()`` and the same trace stream as never having
+crashed — across all four design points, clean and under seeded faults.
+"""
+
+import functools
+import math
+import os
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_points import get_design_point
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.sim.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    PREV_SUFFIX,
+    QUARANTINE_SUFFIX,
+    Checkpointer,
+    MachineSnapshot,
+    PreemptionRequested,
+    SnapshotCorruptError,
+    SnapshotError,
+    inspect_snapshot,
+    quarantine_snapshot,
+    read_snapshot,
+    recover_snapshot,
+    resume_run,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+    write_snapshot,
+)
+from repro.sim.machine import Machine
+from repro.trace import TraceConfig
+from repro.workloads.suite import build_pipelined
+
+#: The four design points of the headline invariant, each with a snapshot
+#: interval matched to its run length (the fast mechanisms finish in a few
+#: thousand cycles; EXISTING busy-waits for tens of thousands).
+DIFFERENTIAL_POINTS = {
+    "EXISTING": 5000,
+    "MEMOPTI": 5000,
+    "SYNCOPTI_SC": 600,
+    "HEAVYWT": 500,
+}
+
+FAULTS = (
+    FaultRule(kind=FaultKind.FORWARD_DELAY, probability=0.02, magnitude=40),
+    FaultRule(kind=FaultKind.BUS_JITTER, probability=0.05, magnitude=12),
+)
+
+
+def _config(point_name, faulted=False, traced=False):
+    cfg = get_design_point(point_name).build_config()
+    if faulted:
+        cfg.faults = FaultPlan(seed=77, rules=FAULTS)
+    if traced:
+        cfg.trace = TraceConfig(capacity=1 << 16, categories=("comm",))
+    return cfg.validate()
+
+
+def _machine(point_name, faulted=False, traced=False):
+    point = get_design_point(point_name)
+    return Machine(_config(point_name, faulted, traced), mechanism=point.mechanism)
+
+
+def _reference(point_name, trips, faulted=False, traced=False):
+    machine = _machine(point_name, faulted, traced)
+    stats = machine.run(build_pipelined("wc", trip_count=trips))
+    return machine, stats
+
+
+def _run_collecting(point_name, trips, every, faulted=False, traced=False):
+    """Run to completion, serializing every snapshot as it is captured.
+
+    In-memory snapshots share the live machine graph, so they are encoded
+    to bytes immediately (exactly what the file writer does) — decoding
+    later yields an independent machine to resume.
+    """
+    blobs = []
+    ck = Checkpointer(
+        every=every, on_snapshot=lambda snap, path: blobs.append(snapshot_to_bytes(snap))
+    )
+    machine = _machine(point_name, faulted, traced)
+    stats = machine.run(build_pipelined("wc", trip_count=trips), checkpoint=ck)
+    return machine, stats, blobs
+
+
+@functools.lru_cache(maxsize=None)
+def _cached_blobs(point_name, trips, every):
+    """Snapshot byte strings are immutable — share them across tests."""
+    _, _, blobs = _run_collecting(point_name, trips, every)
+    return tuple(blobs)
+
+
+def _one_snapshot(trips=80, every=500):
+    blobs = _cached_blobs("EXISTING", trips, every)
+    assert blobs, "run too short to snapshot; raise trips or lower every"
+    return blobs[0]
+
+
+# ----------------------------------------------------------------------
+# On-disk format: header, CRCs, truncation, bit flips
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotFormat:
+    def test_bytes_round_trip_is_byte_identical(self):
+        data = _one_snapshot()
+        snap = snapshot_from_bytes(data)
+        assert isinstance(snap, MachineSnapshot)
+        assert snapshot_to_bytes(snap) == data
+
+    def test_header_carries_magic_and_version(self):
+        data = _one_snapshot()
+        magic, version, _ = struct.unpack_from("<8sII", data, 0)
+        assert magic == CHECKPOINT_MAGIC
+        assert version == CHECKPOINT_VERSION
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(_one_snapshot())
+        data[:8] = b"NOTACKPT"
+        with pytest.raises(SnapshotCorruptError, match="bad magic"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_unknown_version_rejected(self):
+        data = bytearray(_one_snapshot())
+        struct.pack_into("<I", data, 8, CHECKPOINT_VERSION + 1)
+        with pytest.raises(SnapshotCorruptError, match="version"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_truncation_detected_at_every_region(self):
+        data = _one_snapshot()
+        # Cut inside the header, the meta block, the payload header, and
+        # the payload itself: all must fail validation, none may unpickle.
+        for cut in (4, 20, len(data) // 2, len(data) - 1):
+            with pytest.raises(SnapshotCorruptError, match="truncated"):
+                snapshot_from_bytes(data[:cut])
+
+    def test_bit_flip_in_payload_detected_by_crc(self):
+        data = bytearray(_one_snapshot())
+        data[-100] ^= 0x40
+        with pytest.raises(SnapshotCorruptError, match="CRC"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_bit_flip_in_meta_detected_by_crc(self):
+        data = bytearray(_one_snapshot())
+        data[16 + 4] ^= 0x01  # inside the JSON meta block
+        with pytest.raises(SnapshotCorruptError, match="CRC"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_foreign_pickle_payload_rejected(self):
+        # A well-formed container whose payload is not a MachineSnapshot.
+        meta = b"{}"
+        payload = pickle.dumps([1, 2, 3])
+        import zlib
+
+        data = (
+            struct.pack("<8sII", CHECKPOINT_MAGIC, CHECKPOINT_VERSION, len(meta))
+            + meta
+            + struct.pack("<I", zlib.crc32(meta))
+            + struct.pack("<QI", len(payload), zlib.crc32(payload))
+            + payload
+        )
+        with pytest.raises(SnapshotCorruptError, match="not a snapshot"):
+            snapshot_from_bytes(data)
+
+    def test_write_read_file_round_trip(self, tmp_path):
+        data = _one_snapshot()
+        snap = snapshot_from_bytes(data)
+        path = str(tmp_path / "run.ckpt")
+        write_snapshot(path, snap)
+        again = read_snapshot(path)
+        assert snapshot_to_bytes(again) == data
+
+    def test_write_rotates_previous_generation(self, tmp_path):
+        blobs = _cached_blobs("EXISTING", 160, 500)
+        assert len(blobs) >= 2
+        path = str(tmp_path / "run.ckpt")
+        write_snapshot(path, snapshot_from_bytes(blobs[0]))
+        write_snapshot(path, snapshot_from_bytes(blobs[1]))
+        assert os.path.exists(path + PREV_SUFFIX)
+        assert read_snapshot(path).cycle == snapshot_from_bytes(blobs[1]).cycle
+        assert read_snapshot(path + PREV_SUFFIX).cycle == snapshot_from_bytes(
+            blobs[0]
+        ).cycle
+
+    def test_inspect_reads_meta_without_payload(self, tmp_path):
+        snap = snapshot_from_bytes(_one_snapshot())
+        path = str(tmp_path / "run.ckpt")
+        write_snapshot(path, snap)
+        meta = inspect_snapshot(path)
+        assert meta["version"] == CHECKPOINT_VERSION
+        assert meta["program"] == snap.program_name
+        assert meta["cycle"] == snap.cycle
+        assert meta["n_threads"] == snap.n_threads
+        assert meta["cursors"] == list(snap.cursors)
+
+
+# ----------------------------------------------------------------------
+# Quarantine + fallback recovery
+# ----------------------------------------------------------------------
+
+
+class TestQuarantineAndRecovery:
+    def _write_generations(self, tmp_path):
+        blobs = _cached_blobs("EXISTING", 160, 500)
+        assert len(blobs) >= 2
+        path = str(tmp_path / "cell.ckpt")
+        write_snapshot(path, snapshot_from_bytes(blobs[0]))
+        write_snapshot(path, snapshot_from_bytes(blobs[1]))
+        return path, blobs
+
+    def test_recover_prefers_newest_generation(self, tmp_path):
+        path, blobs = self._write_generations(tmp_path)
+        rec = recover_snapshot(path)
+        assert rec is not None and not rec.used_fallback and not rec.quarantined
+        assert rec.snapshot.cycle == snapshot_from_bytes(blobs[1]).cycle
+
+    def test_corrupt_newest_falls_back_to_prev(self, tmp_path):
+        path, blobs = self._write_generations(tmp_path)
+        with open(path, "r+b") as fh:
+            fh.seek(-50, os.SEEK_END)
+            fh.write(b"\xff" * 8)
+        rec = recover_snapshot(path)
+        assert rec is not None and rec.used_fallback
+        assert rec.path == path + PREV_SUFFIX
+        assert rec.snapshot.cycle == snapshot_from_bytes(blobs[0]).cycle
+        # The damaged generation was moved aside, not deleted.
+        assert len(rec.quarantined) == 1
+        assert rec.quarantined[0].startswith(path + QUARANTINE_SUFFIX)
+        assert os.path.exists(rec.quarantined[0])
+        assert not os.path.exists(path)
+
+    def test_all_generations_corrupt_means_cold_start(self, tmp_path):
+        path, _ = self._write_generations(tmp_path)
+        for p in (path, path + PREV_SUFFIX):
+            with open(p, "wb") as fh:
+                fh.write(b"garbage, not a snapshot")
+        rec = recover_snapshot(path)
+        assert rec is None
+        # Both generations preserved as evidence.
+        quarantined = [
+            f for f in os.listdir(tmp_path) if QUARANTINE_SUFFIX in f
+        ]
+        assert len(quarantined) == 2
+
+    def test_missing_files_mean_cold_start(self, tmp_path):
+        assert recover_snapshot(str(tmp_path / "nope.ckpt")) is None
+
+    def test_quarantine_numbering_never_overwrites(self, tmp_path):
+        path = str(tmp_path / "cell.ckpt")
+        names = []
+        for _ in range(3):
+            with open(path, "wb") as fh:
+                fh.write(b"bad")
+            names.append(quarantine_snapshot(path))
+        assert len(set(names)) == 3
+        assert all(os.path.exists(n) for n in names)
+
+
+# ----------------------------------------------------------------------
+# Checkpointer behavior on a live run
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointer:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Checkpointer(every=0)
+
+    def test_checkpointing_never_perturbs_the_run(self):
+        """The engine is observational: stats and trace are bit-identical
+        with checkpointing on or off."""
+        _, ref = _reference("EXISTING", 200, traced=True)
+        machine, stats, blobs = _run_collecting("EXISTING", 200, 2000, traced=True)
+        assert blobs
+        assert stats.fingerprint() == ref.fingerprint()
+        ref_machine, _ = _reference("EXISTING", 200, traced=True)
+        assert machine.trace.events == ref_machine.trace.events
+
+    def test_snapshots_land_on_the_absolute_grid(self):
+        _, _, blobs = _run_collecting("EXISTING", 200, 2000)
+        cycles = [snapshot_from_bytes(b).cycle for b in blobs]
+        assert cycles == sorted(cycles)
+        # Each snapshot fires at the first safe point after its grid line.
+        for prev, cur in zip(cycles, cycles[1:]):
+            assert math.floor(cur / 2000) > math.floor(prev / 2000)
+
+    def test_write_errors_are_tolerated_when_handled(self, tmp_path):
+        seen = []
+        ck = Checkpointer(
+            every=2000,
+            path=str(tmp_path / "no-such-dir" / "run.ckpt"),
+            on_write_error=seen.append,
+        )
+        machine = _machine("EXISTING")
+        stats = machine.run(build_pipelined("wc", trip_count=200), checkpoint=ck)
+        assert stats.cycles > 0
+        assert ck.write_failures > 0 and len(seen) == ck.write_failures
+        assert all(isinstance(exc, OSError) for exc in seen)
+        assert ck.snapshots_taken == 0  # failed persists don't count
+
+    def test_write_errors_propagate_without_handler(self, tmp_path):
+        ck = Checkpointer(every=2000, path=str(tmp_path / "no-such-dir" / "run.ckpt"))
+        with pytest.raises(OSError):
+            _machine("EXISTING").run(
+                build_pipelined("wc", trip_count=200), checkpoint=ck
+            )
+
+
+# ----------------------------------------------------------------------
+# The headline differential invariant
+# ----------------------------------------------------------------------
+
+
+class TestResumeDifferential:
+    """kill → restore → continue ≡ uninterrupted, for every design point,
+    clean and under seeded faults."""
+
+    @pytest.mark.parametrize("point", sorted(DIFFERENTIAL_POINTS))
+    @pytest.mark.parametrize("faulted", [False, True], ids=["clean", "faulted"])
+    def test_resume_matches_uninterrupted_fingerprint(self, point, faulted):
+        every = DIFFERENTIAL_POINTS[point]
+        trips = 200
+        _, ref = _reference(point, trips, faulted=faulted)
+        _, stats, blobs = _run_collecting(point, trips, every, faulted=faulted)
+        assert stats.fingerprint() == ref.fingerprint()
+        assert blobs, f"{point}: no snapshots taken; tune the interval"
+        # Resume from the first, a middle, and the last snapshot.
+        picks = sorted({0, len(blobs) // 2, len(blobs) - 1})
+        for i in picks:
+            resumed = resume_run(
+                snapshot_from_bytes(blobs[i]), build_pipelined("wc", trip_count=trips)
+            )
+            assert resumed.fingerprint() == ref.fingerprint(), (
+                f"{point} ({'faulted' if faulted else 'clean'}): resume from "
+                f"snapshot {i} diverged"
+            )
+            assert resumed.cycles == ref.cycles
+
+    def test_resume_preserves_the_trace_stream(self):
+        trips = 150
+        ref_machine, ref = _reference("SYNCOPTI_SC", trips, traced=True)
+        _, _, blobs = _run_collecting("SYNCOPTI_SC", trips, 600, traced=True)
+        assert blobs
+        snap = snapshot_from_bytes(blobs[len(blobs) // 2])
+        resumed_machine = snap.machine
+        resumed = resume_run(snap, build_pipelined("wc", trip_count=trips))
+        assert resumed.fingerprint() == ref.fingerprint()
+        assert resumed_machine.trace.events == ref_machine.trace.events
+
+    def test_resume_via_file_round_trip(self, tmp_path):
+        trips = 150
+        _, ref = _reference("HEAVYWT", trips)
+        _, _, blobs = _run_collecting("HEAVYWT", trips, 500)
+        path = str(tmp_path / "run.ckpt")
+        write_snapshot(path, snapshot_from_bytes(blobs[0]))
+        rec = recover_snapshot(path)
+        resumed = resume_run(rec.snapshot, build_pipelined("wc", trip_count=trips))
+        assert resumed.fingerprint() == ref.fingerprint()
+
+    def test_restored_run_checkpoints_on_the_same_grid(self):
+        """A resumed run's later snapshots land at the same simulated cycles
+        an uninterrupted run's would — the absolute grid spans crashes."""
+        trips, every = 200, 2000
+        _, _, blobs = _run_collecting("EXISTING", trips, every)
+        assert len(blobs) >= 3
+        all_cycles = [snapshot_from_bytes(b).cycle for b in blobs]
+        later = []
+        ck = Checkpointer(
+            every=every,
+            on_snapshot=lambda snap, path: later.append(snap.cycle),
+        )
+        resume_run(
+            snapshot_from_bytes(blobs[0]),
+            build_pipelined("wc", trip_count=trips),
+            checkpoint=ck,
+        )
+        assert later == all_cycles[1:]
+
+
+# ----------------------------------------------------------------------
+# Resume guards
+# ----------------------------------------------------------------------
+
+
+class TestResumeValidation:
+    def test_program_name_mismatch_rejected(self):
+        snap = snapshot_from_bytes(_one_snapshot())
+        with pytest.raises(SnapshotError, match="program"):
+            resume_run(snap, build_pipelined("fir", trip_count=80))
+
+    def test_snapshot_is_single_use(self):
+        data = _one_snapshot()
+        snap = snapshot_from_bytes(data)
+        resume_run(snap, build_pipelined("wc", trip_count=80))
+        with pytest.raises(SnapshotError, match="already resumed"):
+            resume_run(snap, build_pipelined("wc", trip_count=80))
+        # Re-decoding the bytes yields a fresh, resumable copy.
+        resume_run(snapshot_from_bytes(data), build_pipelined("wc", trip_count=80))
+
+    def test_version_skew_rejected(self):
+        snap = snapshot_from_bytes(_one_snapshot())
+        snap.version = CHECKPOINT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            resume_run(snap, build_pipelined("wc", trip_count=80))
+
+
+# ----------------------------------------------------------------------
+# Graceful preemption
+# ----------------------------------------------------------------------
+
+
+class TestPreemption:
+    def test_preempt_checkpoints_then_unwinds(self):
+        trips = 200
+        _, ref = _reference("EXISTING", trips)
+        ck = Checkpointer(every=2000)
+        blobs = []
+
+        def grab_and_preempt(snap, path):
+            blobs.append(snapshot_to_bytes(snap))
+            if len(blobs) == 2:
+                ck.request_preempt()  # as a SIGTERM handler would
+
+        ck.on_snapshot = grab_and_preempt
+        machine = _machine("EXISTING")
+        with pytest.raises(PreemptionRequested) as exc_info:
+            machine.run(build_pipelined("wc", trip_count=trips), checkpoint=ck)
+        exc = exc_info.value
+        assert exc.snapshot is not None
+        assert exc.cycle == exc.snapshot.cycle
+        # The run is abandoned mid-flight, yet the hand-off loses nothing:
+        # resuming the preemption snapshot completes bit-identically.
+        resumed = resume_run(exc.snapshot, build_pipelined("wc", trip_count=trips))
+        assert resumed.fingerprint() == ref.fingerprint()
+
+    def test_preempt_before_any_grid_line_still_snapshots(self):
+        ck = Checkpointer(every=10_000_000)  # grid never reached
+        ck.request_preempt()
+        with pytest.raises(PreemptionRequested) as exc_info:
+            _machine("EXISTING").run(
+                build_pipelined("wc", trip_count=200), checkpoint=ck
+            )
+        resumed = resume_run(
+            exc_info.value.snapshot, build_pipelined("wc", trip_count=200)
+        )
+        _, ref = _reference("EXISTING", 200)
+        assert resumed.fingerprint() == ref.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        trips=st.integers(min_value=40, max_value=140),
+        every=st.integers(min_value=300, max_value=4000),
+    )
+    def test_round_trip_and_resume_from_arbitrary_cycles(self, trips, every):
+        """For arbitrary (trip count, interval) pairs: every snapshot's byte
+        form survives decode/re-encode unchanged, and resuming from an
+        arbitrary mid-run snapshot reproduces the uninterrupted fingerprint.
+        """
+        _, ref = _reference("EXISTING", trips)
+        _, stats, blobs = _run_collecting("EXISTING", trips, every)
+        assert stats.fingerprint() == ref.fingerprint()
+        for data in blobs:
+            assert snapshot_to_bytes(snapshot_from_bytes(data)) == data
+        if blobs:
+            pick = blobs[len(blobs) // 2]
+            resumed = resume_run(
+                snapshot_from_bytes(pick), build_pipelined("wc", trip_count=trips)
+            )
+            assert resumed.fingerprint() == ref.fingerprint()
