@@ -97,6 +97,7 @@ from repro.sim.checkpoint import (
     resume_run,
     write_snapshot,
 )
+from repro.bench import run_bench
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.cosim import (
     DeadlockError,
@@ -105,6 +106,14 @@ from repro.sim.cosim import (
     WallClockExceededError,
 )
 from repro.sim.forensics import PostMortem
+from repro.sim.kernel import (
+    KERNEL_NAMES,
+    EventKernel,
+    ReferenceKernel,
+    SimKernel,
+    available_kernels,
+    create_kernel,
+)
 from repro.sim.machine import Machine, run_program
 from repro.sim.program import Program, ThreadProgram
 from repro.sim.stats import RunStats, ThreadStats, geomean
@@ -141,6 +150,8 @@ __all__ = [
     "BENCHMARK_ORDER",
     "COMM_OP_POINTS",
     "DESIGN_POINTS",
+    "EventKernel",
+    "KERNEL_NAMES",
     "OVERRIDE_KNOBS",
     "CampaignCell",
     "CampaignLedger",
@@ -164,9 +175,11 @@ __all__ = [
     "PreemptedRun",
     "PreemptionRequested",
     "Program",
+    "ReferenceKernel",
     "RunOutcome",
     "RunResult",
     "RunStats",
+    "SimKernel",
     "SimulationError",
     "SimulationLimitError",
     "SnapshotCorruptError",
@@ -179,6 +192,7 @@ __all__ = [
     "TraceEvent",
     "WallClockExceededError",
     "apply_overrides",
+    "available_kernels",
     "available_mechanisms",
     "baseline_config",
     "campaign_status",
@@ -191,6 +205,7 @@ __all__ = [
     "bus_utilization",
     "check_bus_utilization",
     "check_occupancy",
+    "create_kernel",
     "create_mechanism",
     "execute_cell",
     "geomean",
@@ -207,6 +222,7 @@ __all__ = [
     "recover_snapshot",
     "resume_run",
     "run_all",
+    "run_bench",
     "run_benchmark",
     "run_benchmark_resilient",
     "run_campaign",

@@ -6,6 +6,8 @@ Examples::
     python -m repro run figure7 --scale 0.25
     python -m repro run table1 pipeline_scaling
     python -m repro run all --scale 0.1 --jobs 4
+    python -m repro run figure7 --kernel event     # same figures, faster host
+    python -m repro bench --quick --check          # kernel perf trajectory
 
     python -m repro campaign run --grid figure7 --ledger fig7.jsonl --jobs 4
     python -m repro campaign status --ledger fig7.jsonl
@@ -24,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.sim.kernel import KERNEL_NAMES
 
 #: Named campaign grids ``campaign run`` can build.  ``resume`` rebuilds the
 #: same grid (cells never started leave no spec in the ledger, so the grid
@@ -40,7 +43,7 @@ def _first_doc_line(fn) -> str:
     return ""
 
 
-def _campaign_grid(name: str, scale: float):
+def _campaign_grid(name: str, scale: float, kernel: str = "reference"):
     """Build the named grid's campaign cells."""
     from repro.core.design_points import FIGURE7_ORDER, FIGURE12_ORDER
     from repro.harness.campaign import CampaignCell
@@ -53,19 +56,25 @@ def _campaign_grid(name: str, scale: float):
 
     if name == "figure7":
         return [
-            CampaignCell(benchmark=b, design_point=p, trip_count=trips(b))
+            CampaignCell(
+                benchmark=b, design_point=p, trip_count=trips(b), kernel=kernel
+            )
             for b in BENCHMARK_ORDER
             for p in FIGURE7_ORDER
         ]
     if name == "figure12":
         return [
-            CampaignCell(benchmark=b, design_point=p, trip_count=trips(b))
+            CampaignCell(
+                benchmark=b, design_point=p, trip_count=trips(b), kernel=kernel
+            )
             for b in BENCHMARK_ORDER
             for p in FIGURE12_ORDER
         ]
     if name == "pipeline":
         cells = [
-            CampaignCell(benchmark=b, kind="single", trip_count=trips(b))
+            CampaignCell(
+                benchmark=b, kind="single", trip_count=trips(b), kernel=kernel
+            )
             for b in PIPELINE_BENCHMARKS
         ]
         cells += [
@@ -75,6 +84,7 @@ def _campaign_grid(name: str, scale: float):
                 kind="pipeline",
                 stages=k,
                 trip_count=trips(b),
+                kernel=kernel,
             )
             for b in PIPELINE_BENCHMARKS
             for k in (2, 4)
@@ -84,7 +94,10 @@ def _campaign_grid(name: str, scale: float):
     if name == "smoke":
         return [
             CampaignCell(
-                benchmark=b, design_point=p, trip_count=max(32, int(64 * scale))
+                benchmark=b,
+                design_point=p,
+                trip_count=max(32, int(64 * scale)),
+                kernel=kernel,
             )
             for b in ("wc", "fir")
             for p in FIGURE7_ORDER
@@ -126,6 +139,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for each experiment's grid (1 = serial "
             "in-process, the default)"
+        ),
+    )
+    run.add_argument(
+        "--kernel",
+        default="reference",
+        choices=KERNEL_NAMES,
+        help=(
+            "simulation stepping kernel; bit-identical figures either way, "
+            "'event' is the fast path (default: reference)"
         ),
     )
 
@@ -202,8 +224,30 @@ def _build_parser() -> argparse.ArgumentParser:
                 "(default: <ledger>.ckpt next to the ledger)"
             ),
         )
+        p.add_argument(
+            "--kernel",
+            default="reference",
+            choices=KERNEL_NAMES,
+            help=(
+                "simulation stepping kernel for every cell; part of the "
+                "cell key, so a resume must use the same kernel as the run "
+                "it resumes (default: reference)"
+            ),
+        )
     cstatus = csub.add_parser("status", help="summarize a campaign ledger")
     cstatus.add_argument("--ledger", required=True)
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "measure simulated cycles/sec per kernel (the perf trajectory) "
+            "and write the BENCH json record"
+        ),
+    )
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--out", default=None)
+    bench.add_argument("--no-campaign", action="store_true")
+    bench.add_argument("--check", action="store_true")
     return parser
 
 
@@ -222,7 +266,7 @@ def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
 
     if args.scale <= 0:
         parser.error("--scale must be positive")
-    cells = _campaign_grid(args.grid, args.scale)
+    cells = _campaign_grid(args.grid, args.scale, kernel=args.kernel)
     policy = CampaignPolicy(
         jobs=args.jobs,
         wall_clock_budget=args.budget,
@@ -253,6 +297,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "campaign":
         return _campaign_main(parser, args)
+    if args.command == "bench":
+        from repro.bench import main as bench_main
+
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.out is not None:
+            forwarded += ["--out", args.out]
+        if args.no_campaign:
+            forwarded.append("--no-campaign")
+        if args.check:
+            forwarded.append("--check")
+        return bench_main(forwarded)
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -270,7 +327,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = 0
     for name in names:
         fn = ALL_EXPERIMENTS[name]
-        result = fn() if name.startswith("table") else fn(args.scale, jobs=args.jobs)
+        result = (
+            fn()
+            if name.startswith("table")
+            else fn(args.scale, jobs=args.jobs, kernel=args.kernel)
+        )
         print(result.text)
         print()
         failed += len(result.failures)

@@ -1,0 +1,278 @@
+"""``repro.bench`` — the tracked perf trajectory of the simulator itself.
+
+Every other module in this repository measures *simulated* time; this one
+measures *host* time: how many simulated cycles per host second each
+registered stepping kernel (:mod:`repro.sim.kernel`) achieves across the
+Figure-9 sweep (every Figure-7 design point plus the single-threaded
+baseline), and how many campaign cells per minute the harness sustains
+under each kernel.
+
+The run doubles as a differential test: every (benchmark, design point)
+cell is executed once per kernel and the fingerprints must agree — a
+kernel that got faster by simulating something different fails here
+before it can skew an exhibit.
+
+Results land in ``BENCH_<n>.json`` (``BENCH_7.json`` for this PR), the
+committed perf record the CI perf-smoke job regenerates with ``--quick
+--check`` to catch regressions where the event kernel stops paying for
+itself.
+
+Usage::
+
+    python -m repro bench                 # full measurement, BENCH_7.json
+    python -m repro bench --quick --check # CI smoke: fast + assertions
+    python -m repro.bench --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import geomean
+
+#: Identifier stamped into the payload and the default output file name.
+BENCH_ID = "BENCH_7"
+
+#: The sweep's workload: the paper's flagship streaming kernel.  One
+#: benchmark keeps the full grid (kernels x design points) under a minute
+#: while still exercising every mechanism's bus/queue behaviour.
+BENCH_BENCHMARK = "wc"
+
+#: Trip counts: full runs are long enough that per-run host time is
+#: seconds (timing noise < 2%); quick runs are CI-sized.
+FULL_TRIPS = 1500
+QUICK_TRIPS = 300
+
+#: Campaign-throughput probe: the smoke grid's shape (2 benchmarks x the
+#: Figure-7 design points), small trips — measures harness + simulator
+#: throughput in cells/min, the unit campaign ETAs are quoted in.
+CAMPAIGN_BENCHMARKS = ("wc", "fir")
+CAMPAIGN_TRIPS = 96
+
+
+def bench_grid(
+    kernels: Sequence[str],
+    trips: int,
+    benchmark: str = BENCH_BENCHMARK,
+) -> List[Dict[str, object]]:
+    """Run ``benchmark`` on every design point under every kernel.
+
+    Returns one row per (kernel, design point) with ``cycles``,
+    ``host_seconds``, ``simulated_cycles_per_sec`` and ``fingerprint`` —
+    plus a ``SINGLE`` row per kernel for the Figure-9 single-threaded
+    baseline.  Rows are measurement records; cross-kernel checks live in
+    :func:`check_rows`.
+    """
+    from repro.core.design_points import FIGURE7_ORDER
+    from repro.harness.runner import run_benchmark, run_single_threaded
+
+    rows: List[Dict[str, object]] = []
+    for kernel in kernels:
+        for point in FIGURE7_ORDER:
+            res = run_benchmark(benchmark, point, trips, kernel=kernel)
+            rows.append(_row(kernel, benchmark, point, res))
+        res = run_single_threaded(benchmark, trips, kernel=kernel)
+        rows.append(_row(kernel, benchmark, "SINGLE", res))
+    return rows
+
+
+def _row(kernel: str, benchmark: str, point: str, res) -> Dict[str, object]:
+    return {
+        "kernel": kernel,
+        "benchmark": benchmark,
+        "design_point": point,
+        "cycles": res.cycles,
+        "host_seconds": round(res.stats.host_seconds, 4),
+        "simulated_cycles_per_sec": round(res.stats.simulated_cycles_per_sec, 1),
+        "fingerprint": res.fingerprint(),
+    }
+
+
+def bench_campaign(kernels: Sequence[str], trips: int = CAMPAIGN_TRIPS):
+    """Campaign throughput per kernel: serial ``run_cells`` over the smoke
+    grid, reported as cells per minute."""
+    from repro.core.design_points import FIGURE7_ORDER
+    from repro.harness.campaign import CampaignCell, run_cells
+
+    out: Dict[str, Dict[str, object]] = {}
+    for kernel in kernels:
+        cells = [
+            CampaignCell(
+                benchmark=b, design_point=p, trip_count=trips, kernel=kernel
+            )
+            for b in CAMPAIGN_BENCHMARKS
+            for p in FIGURE7_ORDER
+        ]
+        started = time.perf_counter()
+        outcomes = run_cells(cells)
+        elapsed = time.perf_counter() - started
+        n_ok = sum(1 for o in outcomes.values() if o.ok)
+        out[kernel] = {
+            "cells": len(cells),
+            "ok": n_ok,
+            "seconds": round(elapsed, 3),
+            "cells_per_min": round(len(cells) * 60.0 / elapsed, 1),
+        }
+    return out
+
+
+def check_rows(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Cross-kernel verification over the measurement rows.
+
+    * fingerprints: every kernel must produce the same fingerprint for the
+      same (benchmark, design point) cell — the kernels' core contract;
+    * speedup: per-design-point event/reference throughput ratios and
+      their geomean, the number the CI smoke gates on.
+    """
+    by_cell: Dict[tuple, Dict[str, str]] = {}
+    for row in rows:
+        cell = (row["benchmark"], row["design_point"])
+        by_cell.setdefault(cell, {})[row["kernel"]] = row["fingerprint"]
+    mismatches = [
+        {"benchmark": b, "design_point": p, "fingerprints": fps}
+        for (b, p), fps in sorted(by_cell.items())
+        if len(set(fps.values())) > 1
+    ]
+
+    scps: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        scps.setdefault(row["kernel"], {})[row["design_point"]] = float(
+            row["simulated_cycles_per_sec"]
+        )
+    speedup: Dict[str, float] = {}
+    ref = scps.get("reference", {})
+    ev = scps.get("event", {})
+    for point in ref:
+        if point in ev and ref[point] > 0:
+            speedup[point] = round(ev[point] / ref[point], 2)
+    return {
+        "fingerprints_match": not mismatches,
+        "mismatches": mismatches,
+        "event_speedup_vs_reference": speedup,
+        "event_speedup_geomean": (
+            round(geomean(speedup.values()), 2) if speedup else None
+        ),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    kernels: Optional[Sequence[str]] = None,
+    with_campaign: bool = True,
+) -> Dict[str, object]:
+    """Execute the full benchmark and return the ``BENCH_7`` payload."""
+    from repro.sim.kernel import KERNEL_NAMES
+
+    kernels = list(kernels) if kernels is not None else list(KERNEL_NAMES)
+    trips = QUICK_TRIPS if quick else FULL_TRIPS
+    rows = bench_grid(kernels, trips)
+    payload: Dict[str, object] = {
+        "bench_id": BENCH_ID,
+        "quick": quick,
+        "benchmark": BENCH_BENCHMARK,
+        "trips": trips,
+        "kernels": kernels,
+        "rows": rows,
+        "checks": check_rows(rows),
+    }
+    if with_campaign:
+        payload["campaign"] = bench_campaign(
+            kernels, trips=max(32, trips // 8)
+        )
+    return payload
+
+
+def render(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a bench payload."""
+    lines = [f"{payload['bench_id']}: {payload['benchmark']} x "
+             f"{len(payload['kernels'])} kernel(s), trips={payload['trips']}"]
+    lines.append(
+        f"{'kernel':<10} {'design point':<12} {'cycles':>10} "
+        f"{'host s':>8} {'sim cyc/s':>12}"
+    )
+    for row in payload["rows"]:
+        lines.append(
+            f"{row['kernel']:<10} {row['design_point']:<12} "
+            f"{row['cycles']:>10} {row['host_seconds']:>8.3f} "
+            f"{row['simulated_cycles_per_sec']:>12,.0f}"
+        )
+    checks = payload["checks"]
+    lines.append(
+        "fingerprints: "
+        + ("all kernels agree" if checks["fingerprints_match"] else "MISMATCH")
+    )
+    if checks["event_speedup_vs_reference"]:
+        pairs = ", ".join(
+            f"{p}={s}x" for p, s in checks["event_speedup_vs_reference"].items()
+        )
+        lines.append(
+            f"event vs reference: {pairs} "
+            f"(geomean {checks['event_speedup_geomean']}x)"
+        )
+    for kernel, camp in payload.get("campaign", {}).items():
+        lines.append(
+            f"campaign [{kernel}]: {camp['ok']}/{camp['cells']} cells in "
+            f"{camp['seconds']}s = {camp['cells_per_min']} cells/min"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Measure simulated cycles/sec per kernel across the Figure-9 "
+            "sweep and campaign cells/min; emit the BENCH json record."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI-sized trips ({QUICK_TRIPS} instead of {FULL_TRIPS})",
+    )
+    parser.add_argument(
+        "--out",
+        default=f"{BENCH_ID}.json",
+        help=f"output path for the json record (default: {BENCH_ID}.json)",
+    )
+    parser.add_argument(
+        "--no-campaign",
+        action="store_true",
+        help="skip the campaign cells/min probe",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless every kernel's fingerprints agree and the "
+            "event kernel's geomean throughput is >= the reference kernel's"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick, with_campaign=not args.no_campaign)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(render(payload))
+    print(f"wrote {args.out}")
+
+    if args.check:
+        checks = payload["checks"]
+        if not checks["fingerprints_match"]:
+            print("CHECK FAILED: kernels disagree on fingerprints")
+            return 1
+        gm = checks["event_speedup_geomean"]
+        if gm is not None and gm < 1.0:
+            print(f"CHECK FAILED: event kernel slower than reference ({gm}x)")
+            return 1
+        print("checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -197,6 +197,12 @@ class CampaignCell:
     fault_plan: Optional[FaultPlan] = field(default=None, repr=False)
     #: Pipeline depth for ``kind="pipeline"`` cells.
     stages: Optional[int] = None
+    #: Simulation kernel the cell runs under (:mod:`repro.sim.kernel`).
+    #: Part of the spec — and therefore the key — even though kernels are
+    #: fingerprint-identical: the ledger must record *how* a result was
+    #: produced for the perf trajectory, and a recheck across kernels is
+    #: exactly the differential test the campaign layer gets for free.
+    kernel: str = "reference"
 
     def validate(self) -> "CampaignCell":
         if self.kind not in CELL_KINDS:
@@ -205,6 +211,13 @@ class CampaignCell:
             raise ValueError("pipeline cells need stages >= 2")
         if self.trip_count is not None and self.trip_count <= 0:
             raise ValueError("trip_count must be positive (or None for default)")
+        from repro.sim.kernel import available_kernels
+
+        if self.kernel not in available_kernels():
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"known: {', '.join(available_kernels())}"
+            )
         return self
 
     def spec(self) -> Dict[str, object]:
@@ -217,6 +230,7 @@ class CampaignCell:
             "overrides": dict(sorted(self.overrides.items())),
             "fault_plan": _fault_plan_spec(self.fault_plan),
             "stages": self.stages,
+            "kernel": self.kernel,
         }
 
     def key(self) -> str:
@@ -242,6 +256,7 @@ class CampaignCell:
             overrides=dict(spec.get("overrides") or {}),
             fault_plan=fault_plan_from_spec(spec.get("fault_plan")),
             stages=spec.get("stages"),
+            kernel=spec.get("kernel", "reference"),  # pre-kernel ledgers
         ).validate()
 
 
@@ -291,6 +306,7 @@ def _plan_benchmark(cell: CampaignCell) -> CellPlan:
         point.validate_config(cfg)
     else:
         cfg = point.build_config()
+    cfg.kernel = cell.kernel
 
     def finish(machine: Machine, stats: RunStats) -> RunResult:
         return RunResult(
@@ -328,7 +344,7 @@ def _plan_single(cell: CampaignCell) -> CellPlan:
 
     return CellPlan(
         design_label="SINGLE",
-        config=point.build_config(),
+        config=point.build_config().copy(kernel=cell.kernel),
         mechanism=point.mechanism,
         build_program=lambda: build_single_threaded(
             cell.benchmark, cell.trip_count
@@ -347,7 +363,8 @@ def _plan_pipeline(cell: CampaignCell) -> CellPlan:
     partition = build_pipeline_partition(cell.benchmark, cell.stages, cell.trip_count)
     dp = get_design_point(cell.design_point)
     cfg = with_n_cores(dp.build_config(), cell.stages).copy(
-        trace=TraceConfig(capacity=1 << 20, categories=("comm",))
+        trace=TraceConfig(capacity=1 << 20, categories=("comm",)),
+        kernel=cell.kernel,
     )
     if cell.fault_plan is not None:
         cfg.faults = cell.fault_plan
@@ -809,7 +826,15 @@ def _outcome_record(
             status="done",
             cycles=outcome.cycles,
             fingerprint=outcome.fingerprint(),
+            kernel=cell.kernel,
         )
+        # Perf-trajectory fields (host-side observability; never part of
+        # the fingerprint, so recheck ignores them by construction).
+        if outcome.stats.host_seconds > 0:
+            rec["host_seconds"] = round(outcome.stats.host_seconds, 4)
+            rec["simulated_cycles_per_sec"] = round(
+                outcome.stats.simulated_cycles_per_sec, 1
+            )
         if outcome.extras.get("resumed_from_cycle") is not None:
             rec["resumed_from_cycle"] = outcome.extras["resumed_from_cycle"]
         if outcome.extras.get("checkpoints_taken"):

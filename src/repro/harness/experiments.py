@@ -96,6 +96,7 @@ def sweep(
     overrides: Optional[Dict[str, int]] = None,
     fault_plan_for=None,
     jobs: int = 1,
+    kernel: str = "reference",
 ) -> Dict[str, Dict[str, RunOutcome]]:
     """Run a (benchmark x design point) grid, isolating per-cell failures.
 
@@ -121,6 +122,9 @@ def sweep(
         jobs: ``1`` runs the serial in-process loop (the default fallback);
             ``> 1`` dispatches the grid through the campaign runner's
             worker pool.
+        kernel: Simulation kernel every cell runs under
+            (:mod:`repro.sim.kernel`); fingerprint-identical across
+            kernels, so exhibits are kernel-invariant by construction.
 
     Returns a nested dict ``grid[benchmark][point]`` of
     :class:`~repro.harness.runner.RunOutcome`: failing cells become
@@ -139,7 +143,7 @@ def sweep(
             trips = trip_count if trip_count is not None else _trips(bench, scale)
             for name in design_points:
                 grid[bench][name] = run_benchmark_resilient(
-                    bench, name, trips, config=config_for(bench, name)
+                    bench, name, trips, config=config_for(bench, name), kernel=kernel
                 )
         return grid
 
@@ -156,6 +160,7 @@ def sweep(
                 fault_plan=(
                     fault_plan_for(bench, name) if fault_plan_for is not None else None
                 ),
+                kernel=kernel,
             )
             layout.append((bench, name, cell.key()))
             cells.append(cell)
@@ -194,9 +199,16 @@ def _failure_footer(failures: List[FailedRun]) -> str:
 
 
 def _design_point_grid(
-    points, scale: float, overrides: Optional[Dict[str, int]] = None, jobs: int = 1
+    points,
+    scale: float,
+    overrides: Optional[Dict[str, int]] = None,
+    jobs: int = 1,
+    kernel: str = "reference",
 ) -> Dict[str, Dict[str, RunOutcome]]:
-    return sweep(BENCHMARK_ORDER, points, scale=scale, overrides=overrides, jobs=jobs)
+    return sweep(
+        BENCHMARK_ORDER, points, scale=scale, overrides=overrides, jobs=jobs,
+        kernel=kernel,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -240,7 +252,7 @@ def table2() -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure6(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure6(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 6: HEAVYWT at 1- vs 10-cycle transit, 32- vs 64-entry queues.
 
     Paper shape: the 1-cycle and 10-cycle bars are nearly equal for all
@@ -264,6 +276,7 @@ def figure6(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
                 design_point="HEAVYWT",
                 trip_count=_trips(bench, scale),
                 overrides=dict(ov),
+                kernel=kernel,
             )
             layout.append((bench, label, cell.key()))
             cells.append(cell)
@@ -318,8 +331,11 @@ def _breakdown_figure(
     thread: str = "producer",
     baseline_point: Optional[str] = None,
     jobs: int = 1,
+    kernel: str = "reference",
 ) -> ExperimentResult:
-    grid = _design_point_grid(points, scale, overrides=overrides, jobs=jobs)
+    grid = _design_point_grid(
+        points, scale, overrides=overrides, jobs=jobs, kernel=kernel
+    )
     baseline_point = baseline_point or points[0]
     failures = _grid_failures(grid)
     normalized: Dict[str, Dict[str, Optional[float]]] = {}
@@ -363,7 +379,7 @@ def _breakdown_figure(
     )
 
 
-def figure7(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure7(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 7: normalized execution times for each design point.
 
     Paper shape: HEAVYWT best everywhere; SYNCOPTI trails it closely
@@ -377,10 +393,11 @@ def figure7(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
         list(FIGURE7_ORDER),
         scale,
         jobs=jobs,
+        kernel=kernel,
     )
 
 
-def figure10(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure10(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 10: 4-CPU-cycle bus latency sensitivity.
 
     Paper shape: tight loops (adpcmdec, wc, epicdec) hurt most; even larger
@@ -394,10 +411,11 @@ def figure10(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
         scale,
         overrides={"bus_latency": 4, "transit_delay": 4},
         jobs=jobs,
+        kernel=kernel,
     )
 
 
-def figure11(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure11(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 11: 128-byte-wide bus at 4-cycle latency.
 
     Paper shape: the wide bus (one beat per line) removes the arbitration
@@ -411,6 +429,7 @@ def figure11(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
         scale,
         overrides={"bus_latency": 4, "bus_width": 128, "transit_delay": 4},
         jobs=jobs,
+        kernel=kernel,
     )
 
 
@@ -419,7 +438,7 @@ def figure11(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure8(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure8(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 8: dynamic comm-to-application instruction ratios.
 
     Paper shape: with produce/consume instructions, one communication per
@@ -428,7 +447,10 @@ def figure8(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     """
     cells = {
         bench: CampaignCell(
-            benchmark=bench, design_point="HEAVYWT", trip_count=_trips(bench, scale)
+            benchmark=bench,
+            design_point="HEAVYWT",
+            trip_count=_trips(bench, scale),
+            kernel=kernel,
         )
         for bench in BENCHMARK_ORDER
     }
@@ -484,7 +506,7 @@ def figure8(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure9(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure9(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 9: loop speedup of HEAVYWT over single-threaded execution.
 
     Paper shape: all benchmarks at or above 1.0, geomean ~1.29x — meaning
@@ -495,10 +517,10 @@ def figure9(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     for bench in BENCHMARK_ORDER:
         trips = _trips(bench, scale)
         mt_cells[bench] = CampaignCell(
-            benchmark=bench, design_point="HEAVYWT", trip_count=trips
+            benchmark=bench, design_point="HEAVYWT", trip_count=trips, kernel=kernel
         )
         st_cells[bench] = CampaignCell(
-            benchmark=bench, kind="single", trip_count=trips
+            benchmark=bench, kind="single", trip_count=trips, kernel=kernel
         )
     outcomes = run_cells(
         list(mt_cells.values()) + list(st_cells.values()), jobs=jobs
@@ -541,7 +563,7 @@ def figure9(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def figure12(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def figure12(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Figure 12: stream cache and queue size effects on SYNCOPTI.
 
     Paper shape: Q64 reduces producer stalls, SC cuts consume-to-use
@@ -549,7 +571,7 @@ def figure12(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     EXISTING/MEMOPTI — at ~1% of the dedicated store's cost.
     """
     points = list(FIGURE12_ORDER)
-    grid = _design_point_grid(points, scale, jobs=jobs)
+    grid = _design_point_grid(points, scale, jobs=jobs, kernel=kernel)
     failures = _grid_failures(grid)
     normalized: Dict[str, Dict[str, Optional[float]]] = {}
     producer_bars: Dict[str, Mapping[str, float]] = {}
@@ -602,7 +624,7 @@ def figure12(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     )
 
 
-def pipeline_scaling(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
+def pipeline_scaling(scale: float = 1.0, jobs: int = 1, kernel: str = "reference") -> ExperimentResult:
     """Scalability study: K-stage DSWP pipelines on K-core machines.
 
     Sweeps stage count over the four design points and reports speedup,
@@ -614,7 +636,7 @@ def pipeline_scaling(scale: float = 1.0, jobs: int = 1) -> ExperimentResult:
     # ExperimentResult, so a top-level import here would cycle.
     from repro.pipeline.scaling import pipeline_scaling as _pipeline_scaling
 
-    return _pipeline_scaling(scale, jobs=jobs)
+    return _pipeline_scaling(scale, jobs=jobs, kernel=kernel)
 
 
 #: All exhibits, in paper order (the scalability study extends the paper).
@@ -632,7 +654,9 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(scale: float = 1.0, jobs: int = 1) -> List[ExperimentResult]:
+def run_all(
+    scale: float = 1.0, jobs: int = 1, kernel: str = "reference"
+) -> List[ExperimentResult]:
     """Regenerate every exhibit (tables take no scale).
 
     ``jobs > 1`` runs each exhibit's grid on the campaign runner's worker
@@ -643,5 +667,5 @@ def run_all(scale: float = 1.0, jobs: int = 1) -> List[ExperimentResult]:
         if name.startswith("table"):
             results.append(fn())
         else:
-            results.append(fn(scale, jobs=jobs))
+            results.append(fn(scale, jobs=jobs, kernel=kernel))
     return results

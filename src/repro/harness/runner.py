@@ -224,6 +224,7 @@ def run_benchmark(
     trace: TraceKnob = None,
     wall_clock_budget: Optional[float] = None,
     checkpoint=None,
+    kernel: Optional[str] = None,
 ) -> RunResult:
     """Run one benchmark on one design point.
 
@@ -248,6 +249,9 @@ def run_benchmark(
         checkpoint: Optional :class:`~repro.sim.checkpoint.Checkpointer`
             snapshotting the machine every ``every`` cycles; ``None`` (the
             default) adds zero overhead and changes nothing.
+        kernel: Stepping-engine name (:mod:`repro.sim.kernel`); ``None``
+            defers to ``config.kernel``.  Bit-identical simulated outcome
+            either way — only ``RunStats.host_seconds`` changes.
     """
     point = get_design_point(design_point)
     benchmark_info(benchmark)  # validate the name early
@@ -260,7 +264,10 @@ def run_benchmark(
     program = build_pipelined(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
     stats = machine.run(
-        program, wall_clock_budget=wall_clock_budget, checkpoint=checkpoint
+        program,
+        wall_clock_budget=wall_clock_budget,
+        checkpoint=checkpoint,
+        kernel=kernel,
     )
     return RunResult(
         benchmark=benchmark,
@@ -279,6 +286,7 @@ def run_benchmark_resilient(
     config: Optional[MachineConfig] = None,
     trace: TraceKnob = None,
     wall_clock_budget: Optional[float] = None,
+    kernel: Optional[str] = None,
 ) -> RunOutcome:
     """Like :func:`run_benchmark`, but a failing simulation becomes data.
 
@@ -297,6 +305,7 @@ def run_benchmark_resilient(
             config=config,
             trace=trace,
             wall_clock_budget=wall_clock_budget,
+            kernel=kernel,
         )
     except WallClockExceededError as exc:
         return TimedOutRun(
@@ -326,6 +335,7 @@ def run_single_threaded(
     trace: TraceKnob = None,
     wall_clock_budget: Optional[float] = None,
     checkpoint=None,
+    kernel: Optional[str] = None,
 ) -> RunResult:
     """Run the original (unpartitioned) loop on one core."""
     point = get_design_point("HEAVYWT")  # mechanism is unused without queues
@@ -334,7 +344,10 @@ def run_single_threaded(
     program = build_single_threaded(benchmark, trip_count)
     machine = Machine(cfg, mechanism=point.mechanism)
     stats = machine.run(
-        program, wall_clock_budget=wall_clock_budget, checkpoint=checkpoint
+        program,
+        wall_clock_budget=wall_clock_budget,
+        checkpoint=checkpoint,
+        kernel=kernel,
     )
     return RunResult(
         benchmark=benchmark,

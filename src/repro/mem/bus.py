@@ -25,10 +25,11 @@ kept so tests can check fairness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.faults.plan import FaultPlan
 from repro.sim.config import BusConfig
+from repro.sim.kernel.timeline import LinearTimeline
 
 
 @dataclass
@@ -75,13 +76,15 @@ class SharedBus:
         self.faults = faults
         #: Optional trace sink; ``None`` keeps ``transfer`` to one branch.
         self.trace = trace
-        # Busy intervals (start, end), kept sorted by start.  A split-
-        # transaction bus interleaves unrelated transactions between the
-        # address and data phases of an outstanding miss, so a transfer
-        # scheduled far in the future (waiting on DRAM) must not block
-        # earlier traffic: grants are gap-filled, not appended.
-        self._busy: List[Tuple[float, float]] = []
-        self._prune_before = 0.0
+        # Reservation calendar of busy intervals.  A split-transaction bus
+        # interleaves unrelated transactions between the address and data
+        # phases of an outstanding miss, so a transfer scheduled far in the
+        # future (waiting on DRAM) must not block earlier traffic: grants
+        # are gap-filled, not appended.  The calendar's *storage* is
+        # kernel-swappable (see repro.sim.kernel.timeline): every
+        # implementation returns identical grant times, so the swap is
+        # invisible to simulated timing.
+        self.timeline = LinearTimeline()
         self.transactions = 0
         self.busy_cycles = 0.0
         self.grants_by_requester: Dict[int, int] = {}
@@ -156,27 +159,7 @@ class SharedBus:
         With ``reserve=False`` the gap is found but not claimed (background
         transfers use idle bandwidth without delaying demand traffic).
         """
-        busy = self._busy
-        # Prune intervals that can no longer affect any request.  The
-        # co-simulator bounds how far back in time requests may arrive, so
-        # keeping a generous margin behind the newest request is safe.
-        if busy and at - 20000.0 > self._prune_before:
-            self._prune_before = at - 20000.0
-            cutoff = self._prune_before
-            keep = [iv for iv in busy if iv[1] >= cutoff]
-            busy[:] = keep
-        t = at
-        i = 0
-        n = len(busy)
-        # Find the first interval that could overlap [t, t+hold).
-        while i < n and busy[i][1] <= t:
-            i += 1
-        while i < n and busy[i][0] < t + hold:
-            t = max(t, busy[i][1])
-            i += 1
-        if reserve:
-            busy.insert(i, (t, t + hold))
-        return t
+        return self.timeline.reserve(at, hold, reserve)
 
     def control_message(self, at: float, requester: int = 0) -> BusTransaction:
         """Send an address-only message (snoop, upgrade, ACK, counter update)."""

@@ -64,7 +64,10 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+import time as _time
+
 from repro.sim.cosim import CoreRunner, Scheduler, _State
+from repro.sim.kernel import create_kernel
 from repro.sim.stats import RunStats
 
 __all__ = [
@@ -571,6 +574,7 @@ def resume_run(
     max_steps: int = 50_000_000,
     wall_clock_budget: Optional[float] = None,
     checkpoint: Optional[Checkpointer] = None,
+    kernel: Optional[str] = None,
 ) -> RunStats:
     """Continue a snapshotted run to completion; returns the full-run stats.
 
@@ -585,6 +589,14 @@ def resume_run(
     The returned :class:`~repro.sim.stats.RunStats` covers the run *from
     cycle 0*: restored counters already include all pre-snapshot history, so
     fingerprints are directly comparable with an uninterrupted run's.
+    ``host_seconds``, by contrast, covers only the resumed segment — the
+    host time the pre-crash process spent is gone with that process.
+
+    ``kernel`` names the stepping engine for the resumed segment; ``None``
+    uses the restored machine's ``config.kernel``.  Kernels may differ
+    across a kill → restore boundary (the snapshot carries whichever bus
+    calendar the snapshotting kernel used; the resuming kernel converts it
+    on install) without perturbing the differential guarantee.
 
     A snapshot is single-use (resuming mutates its machine graph); read the
     file again — or re-decode the bytes — to resume twice.
@@ -623,7 +635,9 @@ def resume_run(
         generators.append(machine.cores[i].run(stream))
     if checkpoint is not None:
         checkpoint.attach(machine, program, from_cycle=snapshot.cycle)
-    scheduler = Scheduler(
+    started = _time.perf_counter()
+    engine = create_kernel(
+        kernel if kernel is not None else machine.config.kernel,
         generators,
         max_steps=max_steps,
         context_probe=machine._forensics_probe,
@@ -631,12 +645,14 @@ def resume_run(
         wall_clock_budget=wall_clock_budget,
         checkpoint=checkpoint,
     )
-    scheduler.total_steps = snapshot.total_steps
-    for runner, rs in zip(scheduler.runners, snapshot.runners):
+    engine.total_steps = snapshot.total_steps
+    for runner, rs in zip(engine.runners, snapshot.runners):
         _restore_runner(runner, rs)
-    scheduler.run()
+    engine.install(machine)
+    engine.run()
     return RunStats(
-        threads=[machine.cores[i].stats for i in range(program.n_threads)]
+        threads=[machine.cores[i].stats for i in range(program.n_threads)],
+        host_seconds=_time.perf_counter() - started,
     )
 
 

@@ -1,7 +1,7 @@
 """Conservative min-timestamp co-simulation of multiple core models.
 
 Each core's timing model runs as a Python generator that yields control
-messages; the scheduler always advances the runnable core with the smallest
+messages; the kernel always advances the runnable core with the smallest
 local time, which guarantees that whenever a core touches shared state
 (caches, bus, queue channels) at time *t*, every other core has either
 advanced past *t* or is blocked waiting on this core — so shared state is
@@ -13,322 +13,52 @@ Yield protocol (producer side is the core/mechanism code):
 * ``("time", t)`` — heartbeat: the core's local clock reached ``t``.
 * ``("block", predicate, deadline)`` — the core cannot proceed until
   ``predicate()`` (a closure over shared channel state) becomes true.  The
-  scheduler resumes the generator with ``"ok"`` once the predicate holds, or
+  kernel resumes the generator with ``"ok"`` once the predicate holds, or
   with ``"timeout"`` when ``deadline`` (a simulated time, or ``None``) passes
   without the predicate holding — used by SYNCOPTI's partial-line timeout.
 
 A generator finishing (``StopIteration``) marks its core done.
 
-Failure forensics: when the scheduler detects a deadlock (everyone blocked,
+Failure forensics: when the kernel detects a deadlock (everyone blocked,
 no deadline can fire) or exhausts its step budget, it raises a
 :class:`SimulationError` subclass carrying a structured
 :class:`~repro.sim.forensics.PostMortem` (``exc.post_mortem``) built from
 its per-core book-keeping plus whatever the optional ``context_probe``
 callback supplies (queue-channel snapshots and fault-injection records from
 the owning :class:`~repro.sim.machine.Machine`).
+
+The implementation lives in :mod:`repro.sim.kernel`: the stepping loop is
+a pluggable :class:`~repro.sim.kernel.base.SimKernel` and this module is
+its historical import surface.  :class:`Scheduler` is the ``reference``
+kernel — the original loop, unchanged — which every other kernel (e.g. the
+event-driven ``"event"`` fast path) is differentially tested against.
 """
 
 from __future__ import annotations
 
-import enum
-import time
-from dataclasses import dataclass
-from typing import Callable, Generator, List, Optional, Sequence, Tuple
+from repro.sim.kernel.base import (  # noqa: F401  (re-exported API surface)
+    ContextProbe,
+    CoreRunner,
+    DeadlockError,
+    SimulationError,
+    SimulationLimitError,
+    WALL_CLOCK_CHECK_INTERVAL,
+    WallClockExceededError,
+    _State,
+)
+from repro.sim.kernel.reference import ReferenceKernel
 
-from repro.sim.forensics import ChannelDump, CoreDump, PostMortem
+#: The original scheduler name; the class moved to
+#: :class:`repro.sim.kernel.reference.ReferenceKernel` unchanged.
+Scheduler = ReferenceKernel
 
-#: Signature of the optional machine-context probe: returns (channel
-#: snapshots, fault-injection records[, per-core trace tail]) for
-#: post-mortem construction — the third element is optional so probes
-#: written before the tracing subsystem keep working.
-ContextProbe = Callable[[], Tuple[Sequence[ChannelDump], Sequence[object]]]
-
-#: Scheduler steps between wall-clock watchdog checks: frequent enough that a
-#: livelocked run (e.g. a spin loop recirculating through a huge injected
-#: queue-slot stall) is caught within milliseconds of its budget, rare enough
-#: that the ``time.monotonic()`` call is invisible in profile.
-WALL_CLOCK_CHECK_INTERVAL = 2048
-
-
-class SimulationError(RuntimeError):
-    """Base class for scheduler failures; carries a structured post-mortem."""
-
-    def __init__(self, message: str, post_mortem: Optional[PostMortem] = None) -> None:
-        super().__init__(message)
-        self.post_mortem = post_mortem
-
-
-class DeadlockError(SimulationError):
-    """All live cores are blocked and no deadline can fire."""
-
-
-class SimulationLimitError(SimulationError):
-    """The scheduler exceeded its step budget (runaway program)."""
-
-
-class WallClockExceededError(SimulationError):
-    """The simulation outlived its host wall-clock budget.
-
-    Raised by the scheduler's in-process watchdog (checked every
-    :data:`WALL_CLOCK_CHECK_INTERVAL` steps), so the post-mortem is built
-    while the run's channel and core state are still alive — the campaign
-    runner records it in a :class:`~repro.harness.runner.TimedOutRun` before
-    the pool's hard kill would have destroyed all forensics.
-
-    Unlike deadlocks and step-limit overruns — which are functions of the
-    (seeded, deterministic) simulation alone and therefore reproduce on every
-    retry — a wall-clock overrun depends on host load, so it is classified
-    *transient* by :func:`repro.faults.classify.classify_error_type`.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        post_mortem: Optional[PostMortem] = None,
-        budget: float = 0.0,
-        elapsed: float = 0.0,
-    ) -> None:
-        super().__init__(message, post_mortem=post_mortem)
-        self.budget = budget
-        self.elapsed = elapsed
-
-
-class _State(enum.Enum):
-    RUNNABLE = "runnable"
-    BLOCKED = "blocked"
-    DONE = "done"
-
-
-@dataclass
-class CoreRunner:
-    """Book-keeping wrapper around one core generator."""
-
-    core_id: int
-    gen: Generator
-    time: float = 0.0
-    state: _State = _State.RUNNABLE
-    predicate: Optional[Callable[[], bool]] = None
-    deadline: Optional[float] = None
-    resume_value: Optional[str] = None
-    steps: int = 0
-    #: Scheduler step / local time at this runner's most recent advance.
-    last_progress_step: int = 0
-    last_progress_time: float = 0.0
-
-
-class Scheduler:
-    """Min-timestamp scheduler over a set of core generators."""
-
-    def __init__(
-        self,
-        generators,
-        max_steps: int = 50_000_000,
-        context_probe: Optional[ContextProbe] = None,
-        trace=None,
-        wall_clock_budget: Optional[float] = None,
-        checkpoint=None,
-    ) -> None:
-        self.runners: List[CoreRunner] = [
-            CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
-        ]
-        self.max_steps = max_steps
-        self.total_steps = 0
-        self.context_probe = context_probe
-        #: Host seconds this run may consume (None = unbounded).  Checked
-        #: every WALL_CLOCK_CHECK_INTERVAL steps; the clock starts at
-        #: construction so setup cost counts against the budget too.
-        self.wall_clock_budget = wall_clock_budget
-        self._wall_clock_start = time.monotonic() if wall_clock_budget else None
-        #: Optional :class:`~repro.trace.buffer.TraceBuffer`; ``None`` keeps
-        #: every scheduler hook to a single branch (zero-overhead contract).
-        self.trace = trace
-        #: Optional :class:`~repro.sim.checkpoint.Checkpointer`, pinned like
-        #: ``trace``: ``None`` (the default) reduces the hook to one branch
-        #: per scheduler step.  When set, its ``on_step`` runs after every
-        #: step and snapshots the machine at due safe points.  Checkpointing
-        #: never mutates simulation state, so enabling it cannot change
-        #: RunStats or the trace stream.
-        self.checkpoint = checkpoint
-
-    def run(self) -> None:
-        """Drive all cores to completion."""
-        while True:
-            self._wake_ready()
-            runnable = [r for r in self.runners if r.state is _State.RUNNABLE]
-            if not runnable:
-                if all(r.state is _State.DONE for r in self.runners):
-                    return
-                if not self._fire_timeout():
-                    self._raise_deadlock()
-                continue
-            runner = min(runnable, key=lambda r: r.time)
-            self._step(runner)
-            if self.checkpoint is not None:
-                self.checkpoint.on_step(self)
-
-    # ------------------------------------------------------------------
-
-    def _wake_ready(self) -> None:
-        for r in self.runners:
-            if r.state is not _State.BLOCKED:
-                continue
-            if r.predicate is not None and r.predicate():
-                self._wake(r, "ok")
-            elif r.deadline is not None and self._others_past(r, r.deadline):
-                self._wake(r, "timeout")
-
-    def _others_past(self, runner: CoreRunner, deadline: float) -> bool:
-        """True when no other core can produce an event before ``deadline``."""
-        for other in self.runners:
-            if other is runner:
-                continue
-            if other.state is _State.DONE:
-                continue
-            if other.state is _State.RUNNABLE and other.time <= deadline:
-                return False
-            if other.state is _State.BLOCKED:
-                # A blocked peer could be woken by us later; treat its
-                # current time as its earliest possible event time.
-                if other.time <= deadline:
-                    return False
-        return True
-
-    def _wake(self, runner: CoreRunner, value: str) -> None:
-        runner.state = _State.RUNNABLE
-        runner.resume_value = value
-        runner.predicate = None
-        runner.deadline = None
-        if self.trace is not None:
-            self.trace.emit(
-                "sched.resume", runner.time, core=runner.core_id, status=value
-            )
-
-    def _fire_timeout(self) -> bool:
-        """With everyone blocked, fire the earliest deadline, if any.
-
-        Ties (equal deadlines) resolve to the lowest core id: ``min`` is
-        stable and runners are kept in core-id order, so repeated runs fire
-        the same runner first — determinism the tests pin down.
-        """
-        candidates = [
-            r for r in self.runners if r.state is _State.BLOCKED and r.deadline is not None
-        ]
-        if not candidates:
-            return False
-        self._wake(min(candidates, key=lambda r: r.deadline), "timeout")
-        return True
-
-    # ------------------------------------------------------------------
-    # Failure forensics
-    # ------------------------------------------------------------------
-
-    def build_post_mortem(self, reason: str) -> PostMortem:
-        """Snapshot scheduler + machine context into a structured report."""
-        cores = [
-            CoreDump(
-                core_id=r.core_id,
-                state=r.state.value,
-                time=r.time,
-                steps=r.steps,
-                last_progress_step=r.last_progress_step,
-                last_progress_time=r.last_progress_time,
-                deadline=r.deadline,
-            )
-            for r in self.runners
-        ]
-        channels: List[ChannelDump] = []
-        injections: List[object] = []
-        trace_tail: dict = {}
-        if self.context_probe is not None:
-            probed = self.context_probe()
-            channels = list(probed[0])
-            injections = list(probed[1])
-            if len(probed) > 2:  # older two-tuple probes stay supported
-                trace_tail = dict(probed[2])
-        return PostMortem(
-            reason=reason,
-            total_steps=self.total_steps,
-            cores=cores,
-            channels=channels,
-            injections=injections,
-            trace_tail=trace_tail,
-        )
-
-    def _raise_deadlock(self) -> None:
-        blocked = [r.core_id for r in self.runners if r.state is _State.BLOCKED]
-        pm = self.build_post_mortem("deadlock")
-        raise DeadlockError(
-            f"cores {blocked} are blocked with no satisfiable predicate — "
-            "produce/consume counts are mismatched or a queue dependency "
-            f"cycle exists\n{pm.render()}",
-            post_mortem=pm,
-        )
-
-    def _raise_limit(self) -> None:
-        pm = self.build_post_mortem("step-limit")
-        raise SimulationLimitError(
-            f"exceeded {self.max_steps} scheduler steps; "
-            f"suspected runaway workload\n{pm.render()}",
-            post_mortem=pm,
-        )
-
-    def _check_wall_clock(self) -> None:
-        elapsed = time.monotonic() - self._wall_clock_start
-        if elapsed <= self.wall_clock_budget:
-            return
-        pm = self.build_post_mortem("wall-clock")
-        raise WallClockExceededError(
-            f"exceeded the {self.wall_clock_budget:g}s wall-clock budget after "
-            f"{elapsed:.2f}s and {self.total_steps} steps — the run is wedged "
-            f"or far too slow for its deadline\n{pm.render()}",
-            post_mortem=pm,
-            budget=self.wall_clock_budget,
-            elapsed=elapsed,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _step(self, runner: CoreRunner) -> None:
-        self.total_steps += 1
-        runner.steps += 1
-        runner.last_progress_step = self.total_steps
-        if self.total_steps > self.max_steps:
-            self._raise_limit()
-        if (
-            self._wall_clock_start is not None
-            and self.total_steps % WALL_CLOCK_CHECK_INTERVAL == 0
-        ):
-            self._check_wall_clock()
-        try:
-            msg = runner.gen.send(runner.resume_value)
-        except StopIteration:
-            runner.state = _State.DONE
-            runner.last_progress_time = runner.time
-            if self.trace is not None:
-                self.trace.emit("sched.done", runner.time, core=runner.core_id)
-            return
-        finally:
-            runner.resume_value = None
-        if not isinstance(msg, tuple) or not msg:
-            raise TypeError(f"core {runner.core_id} yielded malformed message {msg!r}")
-        kind = msg[0]
-        if kind == "time":
-            runner.time = max(runner.time, float(msg[1]))
-            runner.last_progress_time = runner.time
-        elif kind == "block":
-            _, predicate, deadline = msg
-            if predicate():
-                runner.resume_value = "ok"  # condition already satisfied
-            else:
-                runner.state = _State.BLOCKED
-                runner.predicate = predicate
-                runner.deadline = deadline
-                if self.trace is not None:
-                    self.trace.emit(
-                        "sched.block",
-                        runner.time,
-                        core=runner.core_id,
-                        deadline=deadline,
-                    )
-        else:
-            raise ValueError(f"core {runner.core_id} yielded unknown message {msg!r}")
+__all__ = [
+    "ContextProbe",
+    "CoreRunner",
+    "DeadlockError",
+    "Scheduler",
+    "SimulationError",
+    "SimulationLimitError",
+    "WALL_CLOCK_CHECK_INTERVAL",
+    "WallClockExceededError",
+]

@@ -15,6 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from repro.core.mechanism import create_mechanism
@@ -29,8 +30,8 @@ from repro.core.queue_model import QueueChannel
 from repro.mem.hierarchy import MemorySystem
 from repro.sim.config import MachineConfig
 from repro.sim.core import CoreModel
-from repro.sim.cosim import Scheduler
 from repro.sim.forensics import dump_channel
+from repro.sim.kernel import create_kernel
 from repro.sim.program import Program
 from repro.sim.stats import RunStats
 from repro.trace.buffer import TraceBuffer
@@ -102,6 +103,7 @@ class Machine:
         max_steps: int = 50_000_000,
         wall_clock_budget: Optional[float] = None,
         checkpoint=None,
+        kernel: Optional[str] = None,
     ) -> RunStats:
         """Co-simulate ``program`` to completion; returns per-thread stats.
 
@@ -115,6 +117,11 @@ class Machine:
         global safe points; ``None`` (the default) costs one branch per
         scheduler step.  Checkpointing never mutates simulation state, so
         stats and traces are identical either way.
+
+        ``kernel`` names the stepping engine (:mod:`repro.sim.kernel`);
+        ``None`` uses ``config.kernel``.  Kernels are bit-identical in
+        simulated outcome — same fingerprint, same trace stream — so the
+        choice only affects ``RunStats.host_seconds``.
         """
         if self._ran:
             raise RuntimeError(
@@ -138,16 +145,21 @@ class Machine:
         ]
         if checkpoint is not None:
             checkpoint.attach(self, program)
-        Scheduler(
+        started = time.perf_counter()
+        engine = create_kernel(
+            kernel if kernel is not None else self.config.kernel,
             generators,
             max_steps=max_steps,
             context_probe=self._forensics_probe,
             trace=self.trace,
             wall_clock_budget=wall_clock_budget,
             checkpoint=checkpoint,
-        ).run()
+        )
+        engine.install(self)
+        engine.run()
         return RunStats(
-            threads=[self.cores[i].stats for i in range(program.n_threads)]
+            threads=[self.cores[i].stats for i in range(program.n_threads)],
+            host_seconds=time.perf_counter() - started,
         )
 
 
@@ -158,6 +170,7 @@ def run_program(
     max_steps: int = 50_000_000,
     wall_clock_budget: Optional[float] = None,
     checkpoint=None,
+    kernel: Optional[str] = None,
 ) -> RunStats:
     """One-shot convenience: build a Machine, run, return stats."""
     return Machine(config, mechanism=mechanism).run(
@@ -165,4 +178,5 @@ def run_program(
         max_steps=max_steps,
         wall_clock_budget=wall_clock_budget,
         checkpoint=checkpoint,
+        kernel=kernel,
     )

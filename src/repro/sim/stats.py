@@ -205,11 +205,28 @@ class RunStats:
     """Statistics for a complete multi-threaded run."""
 
     threads: List[ThreadStats] = field(default_factory=list)
+    #: Host wall-clock seconds the run consumed (``Machine.run`` /
+    #: ``resume_run`` stamp it).  Host-side observability only — excluded
+    #: from :meth:`fingerprint` *and* from ``==`` (``compare=False``):
+    #: both express simulated outcome and must not vary with machine load
+    #: or the kernel choice.
+    host_seconds: float = field(default=0.0, compare=False)
 
     @property
     def cycles(self) -> int:
         """Wall-clock cycles of the run: the slowest thread defines it."""
         return max((t.cycles for t in self.threads), default=0)
+
+    @property
+    def simulated_cycles_per_sec(self) -> float:
+        """Simulation throughput: simulated cycles per host second.
+
+        The unit of the perf trajectory (``repro.bench`` / ``BENCH_*.json``)
+        and the runner/campaign ledgers.  0.0 when timing was not captured.
+        """
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.cycles / self.host_seconds
 
     def thread(self, thread_id: int) -> ThreadStats:
         for t in self.threads:
