@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Result-store + dispatch smoke — the CI acceptance drill for PR 8.
+
+Phase 1, the dedupe drill:
+
+1. run ``campaign run --grid smoke --store`` cold: every cell simulates
+   and publishes;
+2. run the identical grid again against the same store with a fresh
+   ledger: assert 100% store hits, zero publications, and fingerprints
+   bit-identical to the cold run — a repeated campaign performs zero
+   re-simulations.
+
+Phase 2, the lease-reclamation drill:
+
+1. enqueue a small grid on the shared work queue (short lease TTL);
+2. launch a queue worker subprocess and SIGKILL it as soon as it holds a
+   lease — a crashed fleet member mid-cell;
+3. run a second worker in-process: assert it reclaims the orphaned
+   lease after the TTL and the whole grid completes, with every cell
+   simulated exactly once overall (the store's entry count is the grid
+   size and nothing was ever published twice).
+
+Finally dumps store + queue stats as JSON to ``STORE_SMOKE_STATS`` (CI
+uploads it as an artifact).  Exits 0 on success, 1 with a diagnosis.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.harness.campaign import (  # noqa: E402
+    CampaignCell,
+    CampaignLedger,
+    CampaignPolicy,
+    run_campaign,
+)
+from repro.store.dispatch import WorkQueue, run_worker  # noqa: E402
+from repro.store.store import ResultStore, cell_digest  # noqa: E402
+
+POLL_S = 0.05
+LAUNCH_TIMEOUT_S = 120
+#: Short TTL so reclamation happens in CI time, long enough that a live
+#: worker's heartbeats (every ttl/3) keep it safely renewed.
+LEASE_TTL_S = 3.0
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _grid(trips=96):
+    from repro.core.design_points import FIGURE7_ORDER
+
+    return [
+        CampaignCell(benchmark=b, design_point=p, trip_count=trips)
+        for b in ("wc", "fir")
+        for p in FIGURE7_ORDER
+    ]
+
+
+def dedupe_drill(root: str) -> ResultStore:
+    """Cold campaign populates; warm campaign must be 100% hits."""
+    store_root = os.path.join(root, "store")
+    cells = _grid()
+
+    store = ResultStore(store_root)
+    cold = run_campaign(
+        cells,
+        CampaignPolicy(),
+        ledger_path=os.path.join(root, "cold.jsonl"),
+        store=store,
+    )
+    if cold.n_done != len(cells) or cold.n_failed:
+        fail(f"cold run incomplete: {cold.summary()}")
+    if store.writes != len(cells):
+        fail(f"cold run published {store.writes} entries, want {len(cells)}")
+    cold_fps = {k: o.fingerprint() for k, o in cold.outcomes.items()}
+
+    warm_store = ResultStore(store_root)
+    warm = run_campaign(
+        cells,
+        CampaignPolicy(),
+        ledger_path=os.path.join(root, "warm.jsonl"),
+        store=warm_store,
+    )
+    if sorted(warm.store_hits) != sorted(c.key() for c in cells):
+        fail(
+            f"warm run had {len(warm.store_hits)}/{len(cells)} store hits "
+            "(want all: zero re-simulations)"
+        )
+    if warm_store.writes != 0:
+        fail(f"warm run published {warm_store.writes} entries (re-simulated!)")
+    warm_fps = {k: o.fingerprint() for k, o in warm.outcomes.items()}
+    if warm_fps != cold_fps:
+        diff = {k for k in cold_fps if warm_fps.get(k) != cold_fps[k]}
+        fail(f"warm fingerprints diverged from cold on: {sorted(diff)}")
+
+    # The warm ledger's hits must replay as terminal (attempt 0) records.
+    hits = [
+        r
+        for r in CampaignLedger.read(os.path.join(root, "warm.jsonl"))
+        if r.get("store_hit")
+    ]
+    if len(hits) != len(cells):
+        fail(f"warm ledger journalled {len(hits)} store hits, want {len(cells)}")
+    print(
+        f"OK: dedupe drill — {len(cells)} cells cold, "
+        f"{len(warm.store_hits)} hits warm, fingerprints bit-identical"
+    )
+    return warm_store
+
+
+def _worker_proc(store_root: str, queue_root: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "store", "worker",
+            "--store", store_root, "--queue", queue_root,
+            "--lease-ttl", str(LEASE_TTL_S),
+        ],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def reclamation_drill(root: str) -> None:
+    """SIGKILL a leased worker; a second worker must reclaim and finish."""
+    store_root = os.path.join(root, "store2")
+    queue_root = os.path.join(root, "queue2")
+    store = ResultStore(store_root)
+    queue = WorkQueue(queue_root, lease_ttl=LEASE_TTL_S)
+    # Bigger cells so the victim is reliably mid-simulation when killed.
+    cells = _grid(trips=3000)
+    for cell in cells:
+        queue.enqueue(cell)
+
+    victim = _worker_proc(store_root, queue_root)
+    deadline = time.monotonic() + LAUNCH_TIMEOUT_S
+    leased = []
+    while not leased:
+        if victim.poll() is not None:
+            fail(
+                "worker exited before holding a lease — output:\n"
+                f"{victim.stdout.read()}"
+            )
+        if time.monotonic() > deadline:
+            victim.kill()
+            fail("worker never claimed a lease within the launch timeout")
+        leased = [
+            n for n in os.listdir(queue.leases_dir) if n.endswith(".lease")
+        ]
+        time.sleep(POLL_S)
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait()
+    orphaned = leased[0][: -len(".lease")]
+    print(f"killed leased worker; orphaned lease on {orphaned[:16]}")
+
+    # The orphan's digest must not be in the store (it died mid-cell)...
+    if store.contains(orphaned):
+        # ...unless the kill raced completion; then there is nothing to
+        # reclaim.  That window is a few ms — note it loudly and let the
+        # survivor finish the grid anyway rather than fail spuriously.
+        print("NOTE: victim published its cell before the kill landed")
+        for name in list(os.listdir(queue.leases_dir)):
+            os.unlink(os.path.join(queue.leases_dir, name))
+
+    counters = run_worker(
+        store, queue, worker_id="survivor", poll=POLL_S, drain=True
+    )
+    if queue.pending():
+        fail(f"queue not drained: {len(queue.pending())} cells left")
+    if queue.failed():
+        fail(f"cells failed during the drill: {sorted(queue.failed())}")
+    if not store.contains(cell_digest_of_orphan(orphaned, cells)):
+        fail(f"orphaned cell {orphaned[:16]} never completed")
+    if store.stats()["entries"] != len(cells):
+        fail(
+            f"store holds {store.stats()['entries']} entries for a "
+            f"{len(cells)}-cell grid"
+        )
+    # Verify the whole store: every entry valid, none quarantined.
+    report = store.verify()
+    if report["corrupt"]:
+        fail(f"store verify found corruption: {report}")
+    print(
+        f"OK: reclamation drill — survivor ran {counters['ran']} cells "
+        f"(store hits {counters['store_hits']}), lease on {orphaned[:16]} "
+        "reclaimed, store verifies clean"
+    )
+
+
+def cell_digest_of_orphan(orphaned: str, cells) -> str:
+    for cell in cells:
+        if cell_digest(cell) == orphaned:
+            return orphaned
+    fail(f"orphaned digest {orphaned[:16]} matches no grid cell")
+    return ""  # unreachable
+
+
+def main() -> None:
+    root = os.environ.get("STORE_SMOKE_DIR") or tempfile.mkdtemp(
+        prefix="store-smoke-"
+    )
+    os.makedirs(root, exist_ok=True)
+    print(f"smoke dir: {root}")
+    store = dedupe_drill(root)
+    reclamation_drill(root)
+
+    stats_path = os.environ.get("STORE_SMOKE_STATS") or os.path.join(
+        root, "store_stats.json"
+    )
+    payload = {
+        "store": store.stats(),
+        "store2": ResultStore(os.path.join(root, "store2")).stats(),
+        "queue2": WorkQueue(
+            os.path.join(root, "queue2"), lease_ttl=LEASE_TTL_S
+        ).stats(),
+    }
+    with open(stats_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {stats_path}")
+
+
+if __name__ == "__main__":
+    main()

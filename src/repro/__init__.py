@@ -24,7 +24,11 @@ The package provides:
   the mechanisms' tolerance paths and the scheduler's post-mortems;
 * :mod:`repro.trace` — cycle-level event tracing with zero overhead when
   disabled: Chrome-trace/CSV exporters, queue-occupancy and
-  bus-utilization timelines, and the COMM-OP delay profiler.
+  bus-utilization timelines, and the COMM-OP delay profiler;
+* :mod:`repro.store` — the fleet layer: a content-addressed result store
+  (cells dedupe across campaigns — simulation-as-cache), a
+  shared-filesystem work queue with crash-safe leases for multi-host
+  dispatch, and the ``repro serve`` async batch-query service.
 
 Quickstart::
 
@@ -98,6 +102,15 @@ from repro.sim.checkpoint import (
     write_snapshot,
 )
 from repro.bench import run_bench
+from repro.store import (
+    ResultStore,
+    StoreCorruptError,
+    StoreError,
+    WorkQueue,
+    cell_digest,
+    dispatch_cells,
+    run_worker,
+)
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.cosim import (
     DeadlockError,
@@ -176,6 +189,7 @@ __all__ = [
     "PreemptionRequested",
     "Program",
     "ReferenceKernel",
+    "ResultStore",
     "RunOutcome",
     "RunResult",
     "RunStats",
@@ -184,6 +198,8 @@ __all__ = [
     "SimulationLimitError",
     "SnapshotCorruptError",
     "SnapshotError",
+    "StoreCorruptError",
+    "StoreError",
     "ThreadProgram",
     "ThreadStats",
     "TimedOutRun",
@@ -191,6 +207,7 @@ __all__ = [
     "TraceConfig",
     "TraceEvent",
     "WallClockExceededError",
+    "WorkQueue",
     "apply_overrides",
     "available_kernels",
     "available_mechanisms",
@@ -203,10 +220,12 @@ __all__ = [
     "build_pipelined",
     "build_single_threaded",
     "bus_utilization",
+    "cell_digest",
     "check_bus_utilization",
     "check_occupancy",
     "create_kernel",
     "create_mechanism",
+    "dispatch_cells",
     "execute_cell",
     "geomean",
     "get_design_point",
@@ -229,6 +248,7 @@ __all__ = [
     "run_cells",
     "run_program",
     "run_single_threaded",
+    "run_worker",
     "sweep",
     "to_chrome_trace",
     "with_bus_latency",

@@ -17,6 +17,18 @@ Examples::
     # mid-run (bit-identically) instead of restarting from cycle 0.
     python -m repro campaign run --grid pipeline --ledger pipe.jsonl \\
         --jobs 4 --checkpoint-every 20000
+
+    # Content-addressed result store: the second run is 100% store hits.
+    python -m repro campaign run --grid smoke --ledger a.jsonl --store ./store
+    python -m repro campaign run --grid smoke --ledger b.jsonl --store ./store
+
+    # Fleet mode: enqueue misses, let external workers drain the queue.
+    python -m repro campaign run --grid figure7 --ledger f.jsonl \\
+        --store ./store --workers-external &
+    python -m repro store worker --store ./store      # on any host sharing ./store
+
+    python -m repro store stats --store ./store
+    python -m repro serve --store ./store --port 8763 --jobs 4
 """
 
 from __future__ import annotations
@@ -234,8 +246,125 @@ def _build_parser() -> argparse.ArgumentParser:
                 "it resumes (default: reference)"
             ),
         )
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help=(
+                "content-addressed result store: cells already stored are "
+                "hits (no re-run), fresh results publish back (default: off)"
+            ),
+        )
+        p.add_argument(
+            "--workers-external",
+            action="store_true",
+            help=(
+                "do not simulate locally: enqueue store misses on the shared "
+                "work queue and wait for external 'repro store worker' "
+                "processes to publish results (requires --store)"
+            ),
+        )
+        p.add_argument(
+            "--queue",
+            default=None,
+            metavar="DIR",
+            help=(
+                "work-queue directory for --workers-external "
+                "(default: <store>/queue)"
+            ),
+        )
     cstatus = csub.add_parser("status", help="summarize a campaign ledger")
     cstatus.add_argument("--ledger", required=True)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain a result store, or run a queue worker",
+    )
+    ssub = store.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("stats", "print store + queue counters as JSON"),
+        ("verify", "full-scan every entry (CRC + fingerprint), quarantine bad ones"),
+        ("gc", "sweep orphaned tmp files and aged quarantine"),
+        ("worker", "lease cells from the shared queue and publish results"),
+    ):
+        sp = ssub.add_parser(name, help=help_text)
+        sp.add_argument("--store", required=True, metavar="DIR")
+        sp.add_argument(
+            "--queue",
+            default=None,
+            metavar="DIR",
+            help="work-queue directory (default: <store>/queue)",
+        )
+        if name == "gc":
+            sp.add_argument(
+                "--quarantine-max-age",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="also delete quarantined entries older than this",
+            )
+        if name == "worker":
+            sp.add_argument(
+                "--worker-id",
+                default=None,
+                help="lease owner label (default: host:pid)",
+            )
+            sp.add_argument(
+                "--max-cells",
+                type=int,
+                default=None,
+                help="stop after N cells (default: drain the queue)",
+            )
+            sp.add_argument(
+                "--budget",
+                type=float,
+                default=None,
+                help="wall-clock seconds per cell (default: no watchdog)",
+            )
+            sp.add_argument(
+                "--lease-ttl",
+                type=float,
+                default=None,
+                help="seconds before an unrenewed lease is reclaimable",
+            )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "async batch-query service over the store: hits from disk, "
+            "misses simulated exactly once"
+        ),
+    )
+    serve.add_argument("--store", required=True, metavar="DIR")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8763)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="local simulation processes for misses (default 2)",
+    )
+    serve.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help=(
+            "dispatch misses onto this work queue for external workers "
+            "instead of simulating locally"
+        ),
+    )
+    serve.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds per local miss simulation",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=None,
+        help="seconds a query waits for the fleet before erroring (queue mode)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -266,25 +395,114 @@ def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
 
     if args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.workers_external and args.store is None:
+        parser.error("--workers-external requires --store")
+    if args.queue is not None and not args.workers_external:
+        parser.error("--queue only applies with --workers-external")
     cells = _campaign_grid(args.grid, args.scale, kernel=args.kernel)
-    policy = CampaignPolicy(
-        jobs=args.jobs,
-        wall_clock_budget=args.budget,
-        max_attempts=args.max_attempts,
-        recheck=args.recheck,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=args.checkpoint_dir,
-    )
-    report = run_campaign(
-        cells,
-        policy,
-        ledger_path=args.ledger,
-        resume=args.campaign_command == "resume",
-        progress=print,
-    )
+
+    if args.workers_external:
+        import os
+
+        from repro.store.dispatch import WorkQueue, dispatch_cells
+        from repro.store.store import ResultStore
+
+        store = ResultStore(args.store)
+        queue = WorkQueue(args.queue or os.path.join(args.store, "queue"))
+        report = dispatch_cells(
+            cells,
+            store,
+            queue,
+            ledger_path=args.ledger,
+            timeout=args.budget,
+            progress=print,
+        )
+    else:
+        policy = CampaignPolicy(
+            jobs=args.jobs,
+            wall_clock_budget=args.budget,
+            max_attempts=args.max_attempts,
+            recheck=args.recheck,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        report = run_campaign(
+            cells,
+            policy,
+            ledger_path=args.ledger,
+            resume=args.campaign_command == "resume",
+            progress=print,
+            store=args.store,
+        )
     print(report.summary())
     ok = report.n_failed == 0 and not report.mismatches
     return 0 if ok else 1
+
+
+def _store_main(args) -> int:
+    import json
+    import os
+
+    from repro.store.dispatch import WorkQueue, run_worker
+    from repro.store.store import ResultStore
+
+    store = ResultStore(args.store)
+    queue_root = args.queue or os.path.join(args.store, "queue")
+
+    if args.store_command == "stats":
+        doc = {"store": store.stats()}
+        if os.path.isdir(queue_root):
+            doc["queue"] = WorkQueue(queue_root).stats()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["corrupt"] == 0 else 1
+    if args.store_command == "gc":
+        report = store.gc(quarantine_max_age=args.quarantine_max_age)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    # worker
+    ttl = {"lease_ttl": args.lease_ttl} if args.lease_ttl else {}
+    queue = WorkQueue(queue_root, **ttl)
+    counters = run_worker(
+        store,
+        queue,
+        worker_id=args.worker_id,
+        max_cells=args.max_cells,
+        wall_clock_budget=args.budget,
+        progress=print,
+    )
+    print(json.dumps(counters, sort_keys=True))
+    return 0 if counters["failed"] == 0 else 1
+
+
+def _serve_main(args) -> int:
+    import asyncio
+
+    from repro.store.service import serve_forever
+
+    def ready(handle) -> None:
+        print(f"repro serve: listening on http://{handle.host}:{handle.port}")
+        print(f"repro serve: store {args.store}")
+
+    try:
+        asyncio.run(
+            serve_forever(
+                args.store,
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                queue_root=args.queue,
+                wall_clock_budget=args.budget,
+                queue_timeout=args.queue_timeout,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: stopped")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -297,6 +515,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "campaign":
         return _campaign_main(parser, args)
+    if args.command == "store":
+        return _store_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
     if args.command == "bench":
         from repro.bench import main as bench_main
 

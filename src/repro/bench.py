@@ -12,14 +12,20 @@ cell is executed once per kernel and the fingerprints must agree — a
 kernel that got faster by simulating something different fails here
 before it can skew an exhibit.
 
-Results land in ``BENCH_<n>.json`` (``BENCH_7.json`` for this PR), the
+Since PR 8 the record also carries the result store's cold-vs-warm
+campaign numbers (:func:`bench_store`): the same grid run against a fresh
+store and then re-run against the populated one, where every cell must
+come back as a hit with a bit-identical fingerprint — the store's dedupe
+contract measured as a throughput ratio.
+
+Results land in ``BENCH_<n>.json`` (``BENCH_8.json`` for this PR), the
 committed perf record the CI perf-smoke job regenerates with ``--quick
 --check`` to catch regressions where the event kernel stops paying for
-itself.
+itself — or where warm store reruns stop being hits.
 
 Usage::
 
-    python -m repro bench                 # full measurement, BENCH_7.json
+    python -m repro bench                 # full measurement, BENCH_8.json
     python -m repro bench --quick --check # CI smoke: fast + assertions
     python -m repro.bench --out /tmp/b.json
 """
@@ -35,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.stats import geomean
 
 #: Identifier stamped into the payload and the default output file name.
-BENCH_ID = "BENCH_7"
+BENCH_ID = "BENCH_8"
 
 #: The sweep's workload: the paper's flagship streaming kernel.  One
 #: benchmark keeps the full grid (kernels x design points) under a minute
@@ -120,6 +126,60 @@ def bench_campaign(kernels: Sequence[str], trips: int = CAMPAIGN_TRIPS):
     return out
 
 
+def bench_store(
+    kernel: str = "reference", trips: int = CAMPAIGN_TRIPS
+) -> Dict[str, object]:
+    """Cold-vs-warm store campaign: the memoization contract as a number.
+
+    Runs the smoke-shaped grid against a fresh result store (cold — every
+    cell simulates and publishes), then the same grid against the now
+    populated store (warm — every cell must be a hit).  Reports both
+    wall-clock times, the warm/cold throughput ratio, and whether the
+    warm pass was 100% hits with fingerprints bit-identical to the cold
+    pass — the check CI gates on.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.design_points import FIGURE7_ORDER
+    from repro.harness.campaign import CampaignCell, run_campaign
+    from repro.store.store import ResultStore
+
+    cells = [
+        CampaignCell(benchmark=b, design_point=p, trip_count=trips, kernel=kernel)
+        for b in CAMPAIGN_BENCHMARKS
+        for p in FIGURE7_ORDER
+    ]
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = ResultStore(root)
+        started = time.perf_counter()
+        cold = run_campaign(cells, store=store)
+        cold_s = time.perf_counter() - started
+        cold_fps = {
+            k: o.fingerprint() for k, o in cold.outcomes.items() if o.ok
+        }
+
+        started = time.perf_counter()
+        warm = run_campaign(cells, store=store)
+        warm_s = time.perf_counter() - started
+        warm_fps = {
+            k: o.fingerprint() for k, o in warm.outcomes.items() if o.ok
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "kernel": kernel,
+        "cells": len(cells),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+        "warm_hits": len(warm.store_hits),
+        "all_hits": len(warm.store_hits) == len(cells),
+        "fingerprints_identical": cold_fps == warm_fps and len(cold_fps) == len(cells),
+    }
+
+
 def check_rows(rows: List[Dict[str, object]]) -> Dict[str, object]:
     """Cross-kernel verification over the measurement rows.
 
@@ -183,6 +243,7 @@ def run_bench(
         payload["campaign"] = bench_campaign(
             kernels, trips=max(32, trips // 8)
         )
+        payload["store"] = bench_store(trips=max(32, trips // 8))
     return payload
 
 
@@ -217,6 +278,14 @@ def render(payload: Dict[str, object]) -> str:
         lines.append(
             f"campaign [{kernel}]: {camp['ok']}/{camp['cells']} cells in "
             f"{camp['seconds']}s = {camp['cells_per_min']} cells/min"
+        )
+    store = payload.get("store")
+    if store:
+        lines.append(
+            f"store: cold {store['cold_seconds']}s -> warm "
+            f"{store['warm_seconds']}s ({store['warm_speedup']}x), "
+            f"{store['warm_hits']}/{store['cells']} hits, fingerprints "
+            + ("identical" if store["fingerprints_identical"] else "DIFFER")
         )
     return "\n".join(lines)
 
@@ -270,6 +339,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if gm is not None and gm < 1.0:
             print(f"CHECK FAILED: event kernel slower than reference ({gm}x)")
             return 1
+        store = payload.get("store")
+        if store is not None:
+            if not store["all_hits"]:
+                print(
+                    f"CHECK FAILED: warm store rerun had "
+                    f"{store['warm_hits']}/{store['cells']} hits (want all)"
+                )
+                return 1
+            if not store["fingerprints_identical"]:
+                print("CHECK FAILED: warm store fingerprints differ from cold")
+                return 1
         print("checks passed")
     return 0
 

@@ -73,6 +73,7 @@ import random
 import signal
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -107,6 +108,7 @@ __all__ = [
     "CampaignReport",
     "CellHistory",
     "CheckpointNote",
+    "LEDGER_SCHEMA_VERSION",
     "campaign_status",
     "cell_checkpoint_path",
     "execute_cell",
@@ -120,6 +122,15 @@ __all__ = [
 #: post-mortem cannot balloon the campaign's append-only log.
 LEDGER_DETAIL_LIMIT = 8000
 
+#: Schema version of ledger records *and* of the cell-spec dialect inside
+#: them.  v1 (implicit, pre-kernel) specs had no ``kernel`` field; v2 specs
+#: always carry one.  ``campaign-start`` and ``cell-start`` records stamp
+#: this version on write, and :meth:`CampaignCell.from_spec` warns (once
+#: per process) when upgrading a legacy record — the content-addressed
+#: result store hashes this version into every digest, so two dialects of
+#: "the same" spec can never alias one store entry.
+LEDGER_SCHEMA_VERSION = 2
+
 #: Cell kinds the worker-side executor understands.
 CELL_KINDS = ("benchmark", "single", "pipeline")
 
@@ -127,6 +138,11 @@ CELL_KINDS = ("benchmark", "single", "pipeline")
 # ----------------------------------------------------------------------
 # Cells
 # ----------------------------------------------------------------------
+
+
+#: One-shot latch for the legacy-spec upgrade warning (warn once per
+#: process, not once per record — an old ledger has hundreds).
+_warned_legacy_spec = False
 
 
 def _fault_plan_spec(plan: Optional[FaultPlan]) -> Optional[Dict[str, object]]:
@@ -247,7 +263,25 @@ class CampaignCell:
 
     @classmethod
     def from_spec(cls, spec: Dict[str, object]) -> "CampaignCell":
-        """Rebuild a cell from a ledger ``spec`` record."""
+        """Rebuild a cell from a ledger ``spec`` record.
+
+        Legacy (schema v1, pre-kernel) records carry no ``kernel`` field;
+        they upgrade to an explicit ``kernel="reference"`` — the only
+        kernel that existed when they were written — with a one-time
+        :class:`UserWarning`, so a resume against an old ledger announces
+        the dialect upgrade instead of silently defaulting.
+        """
+        global _warned_legacy_spec
+        if "kernel" not in spec and not _warned_legacy_spec:
+            _warned_legacy_spec = True
+            warnings.warn(
+                "ledger spec predates the kernel field (schema v1); "
+                "upgrading to kernel='reference' — the only kernel that "
+                f"existed then.  Current ledgers are schema "
+                f"v{LEDGER_SCHEMA_VERSION}.",
+                UserWarning,
+                stacklevel=2,
+            )
         return cls(
             benchmark=spec["benchmark"],
             design_point=spec["design_point"],
@@ -687,11 +721,19 @@ class CampaignLedger:
     ``O_APPEND`` descriptor followed by ``fsync``, so a crash (or SIGKILL)
     can lose at most the record being written — and a torn final line is
     skipped by :meth:`read`, never mistaken for a terminal outcome.
+
+    ``sleep`` injects the backoff delay function used by :meth:`append`'s
+    ENOSPC/EIO retry loop (default :func:`time.sleep`).  Tests replace it
+    with a recorder, so the retry path — schedule, fragment termination,
+    eventual :class:`LedgerWriteError` — is exercised without real delays.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self, path: str, sleep: Optional[Callable[[float], None]] = None
+    ) -> None:
         self.path = str(path)
         self._fd: Optional[int] = None
+        self._sleep: Callable[[float], None] = sleep if sleep is not None else time.sleep
 
     def open(self) -> "CampaignLedger":
         if self._fd is None:
@@ -732,7 +774,7 @@ class CampaignLedger:
                     os.write(self._fd, b"\n")
                 except OSError:
                     pass
-                time.sleep(LEDGER_RETRY_BASE * (2**i))
+                self._sleep(LEDGER_RETRY_BASE * (2**i))
         raise LedgerWriteError(
             f"ledger append to {self.path} failed after "
             f"{LEDGER_RETRIES} attempts: {last}"
@@ -948,6 +990,8 @@ class CampaignReport:
     attempts: Dict[str, int] = field(default_factory=dict)
     #: Cell keys whose recheck fingerprint did not match the golden value.
     mismatches: List[str] = field(default_factory=list)
+    #: Cell keys answered from the result store without running a worker.
+    store_hits: List[str] = field(default_factory=list)
     retries: int = 0
 
     @property
@@ -972,6 +1016,8 @@ class CampaignReport:
             f"{len(self.skipped)} skipped (already recorded)",
             f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}",
         ]
+        if self.store_hits:
+            parts.insert(1, f"{len(self.store_hits)} from store")
         if self.mismatches:
             parts.append(f"{len(self.mismatches)} FINGERPRINT MISMATCH(ES)")
         return ", ".join(parts)
@@ -1103,6 +1149,8 @@ def run_campaign(
     ledger_path: Optional[str] = None,
     resume: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    store=None,
+    campaign_id: Optional[str] = None,
 ) -> CampaignReport:
     """Execute a campaign of cells on the worker pool.
 
@@ -1118,12 +1166,28 @@ def run_campaign(
             Without ``resume``, an existing non-empty ledger is an error —
             refusing to silently interleave two campaigns in one file.
         progress: Optional line sink for human-readable progress.
+        store: Optional :class:`~repro.store.ResultStore` (or a path to
+            one).  Store-first scheduling: a cell whose digest is already
+            stored is answered from the store — recorded ``done`` in the
+            ledger with ``store_hit``, never simulated — and every freshly
+            completed cell is published back, so a second campaign over
+            the same grid performs zero re-simulations.  Under
+            ``policy.recheck`` stored fingerprints join the ledger's as
+            golden values and every cell re-runs.
+        campaign_id: Provenance label stamped into store entries this
+            campaign publishes (default: the ledger path or ``adhoc``).
 
     Returns a :class:`CampaignReport`; raises nothing for cell failures —
     they are data (``report.outcomes``) — but propagates KeyboardInterrupt
     after killing the pool, leaving the ledger resumable.
     """
     policy = (policy or CampaignPolicy()).validate()
+    if store is not None and not hasattr(store, "get"):
+        from repro.store.store import ResultStore
+
+        store = ResultStore(str(store))
+    if campaign_id is None:
+        campaign_id = str(ledger_path) if ledger_path is not None else "adhoc"
     cells = [c.validate() for c in cells]
     keys = [c.key() for c in cells]
     dup = {k for k in keys if keys.count(k) > 1}
@@ -1151,11 +1215,13 @@ def run_campaign(
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
 
-    # Seed the run queue: skip terminally-recorded cells, re-queue the rest
-    # (in-flight cells keep their attempt counter so retries stay bounded
-    # across crashes).
+    # Seed the run queue: skip terminally-recorded cells, answer store hits
+    # without running, and re-queue the rest (in-flight cells keep their
+    # attempt counter so retries stay bounded across crashes).
     heap: List[Tuple[float, int, CampaignCell, int]] = []
     golden: Dict[str, Optional[str]] = {}
+    store_hit_records: List[Tuple[CampaignCell, object]] = []
+    digests: Dict[str, str] = {}
     now = time.monotonic()
     for seq, cell in enumerate(cells):
         key = cell.key()
@@ -1166,6 +1232,21 @@ def run_campaign(
             else:
                 report.skipped[key] = hist
                 continue
+        if store is not None:
+            from repro.store.store import cell_digest, result_from_entry
+
+            digests[key] = cell_digest(cell)
+            entry = store.get(digests[key])
+            if entry is not None:
+                if policy.recheck:
+                    # Stored fingerprints are golden values too: the re-run
+                    # below must reproduce them byte for byte.
+                    golden.setdefault(key, entry.fingerprint)
+                else:
+                    report.outcomes[key] = result_from_entry(entry)
+                    report.store_hits.append(key)
+                    store_hit_records.append((cell, entry))
+                    continue
         attempt = (hist.attempts if hist is not None else 0) + 1
         heapq.heappush(heap, (now, seq, cell, attempt))
     seq_counter = len(cells)
@@ -1174,10 +1255,13 @@ def run_campaign(
         ledger.append(
             {
                 "event": "campaign-start",
+                "schema": LEDGER_SCHEMA_VERSION,
                 "time": time.time(),
                 "resume": resume,
                 "n_cells": len(cells),
                 "n_skipped": len(report.skipped),
+                "n_store_hits": len(report.store_hits),
+                "store": getattr(store, "root", None),
                 "policy": {
                     "jobs": policy.jobs,
                     "wall_clock_budget": policy.wall_clock_budget,
@@ -1186,6 +1270,25 @@ def run_campaign(
                 },
             }
         )
+        for cell, entry in store_hit_records:
+            # One terminal record per store hit: resume and status see the
+            # cell as done, and the record says it was never simulated.
+            ledger.append(
+                {
+                    "event": "cell-end",
+                    "cell": cell.key(),
+                    "attempt": 0,
+                    "time": time.time(),
+                    "elapsed": 0.0,
+                    "terminal": True,
+                    "status": "done",
+                    "cycles": entry.cycles,
+                    "fingerprint": entry.fingerprint,
+                    "kernel": cell.kernel,
+                    "store_hit": True,
+                    "store_digest": entry.digest,
+                }
+            )
 
     running: List[_Running] = []
     draining = False
@@ -1235,10 +1338,29 @@ def run_campaign(
             preempted or attempt < policy.max_attempts
         )
         elapsed = time.monotonic() - start_times.pop(key, now)
+        published: Optional[str] = None
+        if store is not None and isinstance(outcome, RunResult):
+            from repro.store.store import StoreError
+
+            try:
+                entry, _created = store.put(
+                    cell,
+                    outcome,
+                    provenance={"campaign": campaign_id, "attempt": attempt},
+                )
+                published = entry.digest
+            except StoreError as exc:
+                # A fingerprint conflict with an existing entry is a
+                # determinism violation — surface it like a recheck
+                # mismatch instead of silently keeping either value.
+                note(f"  STORE CONFLICT {key}: {exc}")
+                report.mismatches.append(key)
         if ledger is not None:
             rec = _outcome_record(cell, attempt, outcome, not resumable, elapsed)
             if report.mismatches and report.mismatches[-1] == key:
                 rec["status"] = "fingerprint-mismatch"
+            if published is not None:
+                rec["store_digest"] = published
             ledger.append(rec)
         if resumable and not draining:
             delay = policy.backoff(key, attempt)
@@ -1279,6 +1401,7 @@ def run_campaign(
                             "cell": cell.key(),
                             "attempt": attempt,
                             "time": time.time(),
+                            "schema": LEDGER_SCHEMA_VERSION,
                             "spec": cell.spec(),
                         }
                     )

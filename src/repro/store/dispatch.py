@@ -1,0 +1,636 @@
+"""Multi-host cell dispatch over a shared-filesystem work queue.
+
+The campaign pool (:mod:`repro.harness.campaign`) is single-host: one
+parent process spawns workers.  Fleet scale needs the inverse shape —
+any number of hosts mounting one filesystem, each pulling cells from a
+shared queue and publishing results to the content-addressed store
+(:mod:`repro.store.store`), with no coordinator process at all.  The
+design borrows the lock-free split the streaming literature uses between
+dispatch and worker farms (FastFlow's accelerators; Prasaad et al.'s
+ordered-stream workers): the *queue* holds only specs, the *store* is
+the only result channel, and every coordination primitive is an atomic
+filesystem rename.
+
+Layout::
+
+    <queue>/pending/<digest>.json     # one cell spec per file
+    <queue>/leases/<digest>.lease     # atomic claim + heartbeat
+    <queue>/failed/<digest>.json      # deterministic failures, diagnosed
+
+**Claiming** is ``open(O_CREAT | O_EXCL)`` on the lease file: exactly one
+worker wins, no lock server.  A lease carries the worker id, a random
+token, and a heartbeat timestamp; the holder renews it by atomically
+rewriting the file.  A lease whose heartbeat is older than ``lease_ttl``
+is *stale* — its worker crashed or lost the host — and any other worker
+may reclaim it: rename the stale lease aside (``os.replace`` has exactly
+one winner, so two reclaimers cannot both proceed), then claim fresh.
+The token guards the other half of the race: a zombie holder's next
+heartbeat sees a token it does not own and gets :class:`LeaseLostError`
+instead of silently stomping the new owner's lease.
+
+**Crash safety** composes with the rest of the system: a worker killed
+mid-cell leaves a stale lease (reclaimed; the cell re-runs — it never
+published, so nothing is lost) or a published-but-uncompleted cell (the
+reclaiming worker sees the store entry and completes without re-running
+— publication is the commit point).  Results are deduped by the store's
+own semantics, so even two workers racing the same cell converge on one
+entry with one fingerprint.
+
+``clock`` is injectable (default :func:`time.time`) so staleness and
+reclamation are unit-testable without real waiting — the same discipline
+as the campaign ledger's ``sleep`` hook.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.harness.campaign import (
+    LEDGER_SCHEMA_VERSION,
+    CampaignCell,
+    CampaignLedger,
+    CampaignReport,
+    execute_cell,
+)
+from repro.harness.runner import FailedRun, RunResult, TimedOutRun
+from repro.store.store import ResultStore, cell_digest, result_from_entry
+
+__all__ = [
+    "Lease",
+    "LeaseLostError",
+    "WorkQueue",
+    "dispatch_cells",
+    "run_worker",
+]
+
+#: Default seconds without a heartbeat before a lease counts as stale.
+DEFAULT_LEASE_TTL = 60.0
+
+
+class LeaseLostError(RuntimeError):
+    """A heartbeat found the lease gone or owned by another worker.
+
+    The holder must stop treating the cell as its own: a reclaimer took
+    over after the holder's heartbeats went stale.  Any result it still
+    produces may be published — the store dedupes — but the lease and
+    pending entry now belong to someone else.
+    """
+
+
+@dataclass
+class Lease:
+    """One worker's claim on one queued cell."""
+
+    digest: str
+    path: str
+    worker: str
+    token: str
+    acquired_at: float
+
+
+def _write_atomic(path: str, data: bytes) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+
+
+class WorkQueue:
+    """A shared-filesystem queue of campaign cells with crash-safe leases."""
+
+    def __init__(
+        self,
+        root: str,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.root = str(root)
+        self.lease_ttl = float(lease_ttl)
+        self.clock = clock
+        self.pending_dir = os.path.join(self.root, "pending")
+        self.leases_dir = os.path.join(self.root, "leases")
+        self.failed_dir = os.path.join(self.root, "failed")
+        for d in (self.pending_dir, self.leases_dir, self.failed_dir):
+            os.makedirs(d, exist_ok=True)
+
+    # -- enqueue --------------------------------------------------------
+
+    def enqueue(self, cell: CampaignCell) -> Tuple[str, bool]:
+        """Add one cell; returns ``(digest, created)``.  Idempotent."""
+        digest = cell_digest(cell)
+        path = os.path.join(self.pending_dir, digest + ".json")
+        if os.path.exists(path):
+            return digest, False
+        doc = {
+            "digest": digest,
+            "schema": LEDGER_SCHEMA_VERSION,
+            "spec": cell.spec(),
+            "enqueued_at": self.clock(),
+        }
+        _write_atomic(path, (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"))
+        return digest, True
+
+    def pending(self) -> List[str]:
+        """Digests currently queued (leased or not), oldest enqueue first."""
+        entries = []
+        for name in os.listdir(self.pending_dir):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.pending_dir, name)
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue  # completed while listing
+            entries.append((mtime, name[: -len(".json")]))
+        return [digest for _, digest in sorted(entries)]
+
+    def load_cell(self, digest: str) -> CampaignCell:
+        """Rebuild the queued cell's spec (from pending or failed)."""
+        for d in (self.pending_dir, self.failed_dir):
+            path = os.path.join(d, digest + ".json")
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            return CampaignCell.from_spec(doc["spec"])
+        raise KeyError(f"digest {digest[:16]} not queued")
+
+    # -- leases ---------------------------------------------------------
+
+    def _lease_path(self, digest: str) -> str:
+        return os.path.join(self.leases_dir, digest + ".lease")
+
+    def _read_lease(self, path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            # Missing, or caught mid-replace: treat as unreadable-now.
+            return None
+
+    def _try_acquire(self, digest: str, worker: str) -> Optional[Lease]:
+        """O_EXCL-create the lease file; exactly one caller can win."""
+        path = self._lease_path(digest)
+        token = os.urandom(8).hex()
+        now = self.clock()
+        body = json.dumps(
+            {"digest": digest, "worker": worker, "token": token, "time": now},
+            sort_keys=True,
+        ).encode("utf-8")
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            os.write(fd, body)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return Lease(
+            digest=digest, path=path, worker=worker, token=token, acquired_at=now
+        )
+
+    def _reclaim_stale(self, digest: str) -> bool:
+        """Break a stale lease.  True when this caller won the break.
+
+        The break is a rename: ``os.replace`` moves the stale file to a
+        caller-private tombstone, so of N concurrent reclaimers exactly
+        one succeeds (the others' renames raise ``FileNotFoundError``).
+        The tombstone is then removed — the evidence that matters (who
+        held it, when it last beat) lives in worker logs, not the queue.
+        """
+        path = self._lease_path(digest)
+        doc = self._read_lease(path)
+        if doc is None:
+            return False
+        beat = float(doc.get("time", 0.0))
+        if self.clock() - beat <= self.lease_ttl:
+            return False
+        tombstone = f"{path}.stale.{os.getpid()}.{threading.get_ident()}"
+        try:
+            os.replace(path, tombstone)
+        except FileNotFoundError:
+            return False  # another reclaimer won
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        return True
+
+    def claim(self, worker: Optional[str] = None) -> Optional[Lease]:
+        """Claim the oldest claimable pending cell, or ``None``.
+
+        Skips digests under a live lease; breaks stale leases first.  A
+        claim can race completion (the pending file vanishing between
+        listing and locking) — the worker loop handles that by checking
+        the store after claiming.
+        """
+        worker = worker or default_worker_id()
+        for digest in self.pending():
+            lease = self._try_acquire(digest, worker)
+            if lease is not None:
+                return lease
+            if self._reclaim_stale(digest):
+                lease = self._try_acquire(digest, worker)
+                if lease is not None:
+                    return lease
+        return None
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Renew the lease's staleness clock; raise if ownership was lost."""
+        doc = self._read_lease(lease.path)
+        if doc is None or doc.get("token") != lease.token:
+            raise LeaseLostError(
+                f"lease on {lease.digest[:16]} lost (reclaimed after stale "
+                f"heartbeats or completed elsewhere)"
+            )
+        doc["time"] = self.clock()
+        _write_atomic(lease.path, (json.dumps(doc, sort_keys=True) + "\n").encode())
+
+    def complete(self, lease: Lease) -> None:
+        """Retire a finished cell: drop its pending entry and lease."""
+        for path in (
+            os.path.join(self.pending_dir, lease.digest + ".json"),
+            lease.path,
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def release(self, lease: Lease) -> None:
+        """Give a claimed cell back (still pending, claimable by anyone)."""
+        try:
+            os.unlink(lease.path)
+        except OSError:
+            pass
+
+    def fail(self, lease: Lease, outcome) -> None:
+        """Move a deterministically-failed cell to ``failed/`` (diagnosed).
+
+        The spec travels with the diagnosis so operators can requeue by
+        renaming the file back into ``pending/``.
+        """
+        pending = os.path.join(self.pending_dir, lease.digest + ".json")
+        target = os.path.join(self.failed_dir, lease.digest + ".json")
+        doc: Dict[str, object] = {"digest": lease.digest, "failed_at": self.clock()}
+        try:
+            with open(pending, "r", encoding="utf-8") as fh:
+                doc["spec"] = json.load(fh)["spec"]
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
+        doc["error_type"] = getattr(outcome, "error_type", type(outcome).__name__)
+        doc["error"] = getattr(outcome, "error", str(outcome))
+        _write_atomic(target, (json.dumps(doc, sort_keys=True) + "\n").encode())
+        self.complete(lease)
+
+    def failed(self) -> Dict[str, Dict[str, object]]:
+        """Diagnosed failures by digest."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(os.listdir(self.failed_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(
+                    os.path.join(self.failed_dir, name), "r", encoding="utf-8"
+                ) as fh:
+                    out[name[: -len(".json")]] = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        leases = [n for n in os.listdir(self.leases_dir) if n.endswith(".lease")]
+        stale = 0
+        now = self.clock()
+        for name in leases:
+            doc = self._read_lease(os.path.join(self.leases_dir, name))
+            if doc is not None and now - float(doc.get("time", 0.0)) > self.lease_ttl:
+                stale += 1
+        return {
+            "root": self.root,
+            "pending": len(self.pending()),
+            "leased": len(leases),
+            "stale_leases": stale,
+            "failed": len(self.failed()),
+            "lease_ttl": self.lease_ttl,
+        }
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+
+
+class _HeartbeatThread(threading.Thread):
+    """Renews one lease in the background while the cell simulates."""
+
+    def __init__(self, queue: WorkQueue, lease: Lease, every: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{lease.digest[:8]}")
+        self.queue = queue
+        self.lease = lease
+        self.every = every
+        self.lost = threading.Event()
+        # NB: not named _stop — threading.Thread owns that attribute and
+        # calls it internally when the thread finishes.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.every):
+            try:
+                self.queue.heartbeat(self.lease)
+            except LeaseLostError:
+                self.lost.set()
+                return
+            except OSError:
+                continue  # transient FS hiccup; the TTL absorbs a few
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def run_worker(
+    store: ResultStore,
+    queue: WorkQueue,
+    worker_id: Optional[str] = None,
+    poll: float = 0.5,
+    heartbeat_every: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    drain: bool = True,
+    wall_clock_budget: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, int]:
+    """Pull cells from the queue until it drains (or ``max_cells``).
+
+    For each claimed cell: a store hit (published by a faster worker or a
+    previous campaign) completes immediately; otherwise the cell runs via
+    the campaign executor, publishes to the store — the commit point —
+    and then retires its queue entry.  Deterministic failures are filed
+    under ``failed/``; transient ones (watchdog timeouts) release the
+    lease for any worker to retry.  Heartbeats renew the lease from a
+    background thread every ``heartbeat_every`` seconds (default: a third
+    of the queue's TTL) so long cells are never reclaimed mid-run.
+
+    Returns counters: ``{"ran", "store_hits", "failed", "released",
+    "lease_lost"}``.
+    """
+    worker_id = worker_id or default_worker_id()
+    if heartbeat_every is None:
+        heartbeat_every = queue.lease_ttl / 3.0
+    counters = {"ran": 0, "store_hits": 0, "failed": 0, "released": 0, "lease_lost": 0}
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    while max_cells is None or (counters["ran"] + counters["store_hits"]) < max_cells:
+        lease = queue.claim(worker_id)
+        if lease is None:
+            if drain and not queue.pending():
+                break
+            if not drain:
+                break
+            sleep(poll)  # everything pending is leased elsewhere; wait
+            continue
+        if store.contains(lease.digest):
+            # Published by someone else (or a prior campaign) after it was
+            # enqueued: completing without running IS the dedupe.
+            counters["store_hits"] += 1
+            queue.complete(lease)
+            note(f"[{worker_id}] {lease.digest[:16]} already stored; completed")
+            continue
+        try:
+            cell = queue.load_cell(lease.digest)
+        except KeyError:
+            queue.release(lease)
+            continue
+        beat = _HeartbeatThread(queue, lease, heartbeat_every)
+        beat.start()
+        try:
+            outcome = execute_cell(cell, wall_clock_budget=wall_clock_budget)
+        finally:
+            beat.stop()
+            beat.join(timeout=heartbeat_every + 1.0)
+        if beat.lost.is_set():
+            counters["lease_lost"] += 1
+            note(f"[{worker_id}] lease lost on {lease.digest[:16]}; discarding")
+            continue
+        if isinstance(outcome, RunResult):
+            store.put(
+                cell,
+                outcome,
+                provenance={"campaign": "queue", "worker": worker_id, "attempt": 1},
+            )
+            queue.complete(lease)
+            counters["ran"] += 1
+            note(
+                f"[{worker_id}] ran {cell.key()} "
+                f"({outcome.cycles} cycles, fp {outcome.fingerprint()})"
+            )
+        elif isinstance(outcome, TimedOutRun):
+            queue.release(lease)
+            counters["released"] += 1
+            note(f"[{worker_id}] released {cell.key()} after timeout")
+        else:
+            queue.fail(lease, outcome)
+            counters["failed"] += 1
+            note(f"[{worker_id}] failed {cell.key()}: {outcome.error_type}")
+    return counters
+
+
+# ----------------------------------------------------------------------
+# Store-first external dispatch (the campaign's --workers-external path)
+# ----------------------------------------------------------------------
+
+
+def dispatch_cells(
+    cells: Iterable[CampaignCell],
+    store: ResultStore,
+    queue: WorkQueue,
+    ledger_path: Optional[str] = None,
+    poll: float = 0.2,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> CampaignReport:
+    """Store-first scheduling onto external workers: skip hits, enqueue misses.
+
+    The multi-host half of ``campaign run --store --workers-external``:
+    no cell is simulated in this process.  Hits are answered from the
+    store immediately; misses are enqueued (idempotently — concurrent
+    dispatchers share one queue entry per digest) and awaited until their
+    entries appear, workers file them under ``failed/``, or ``timeout``
+    passes.  Outcomes are bit-identical to running the same grid locally:
+    the store only ever holds fingerprint-checked results.
+
+    Every resolution is journalled to ``ledger_path`` in the campaign
+    ledger dialect, so ``campaign status`` works on dispatched campaigns
+    unchanged.
+    """
+    cells = [c.validate() for c in cells]
+    report = CampaignReport()
+    ledger = CampaignLedger(ledger_path).open() if ledger_path is not None else None
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    def journal(rec: Dict[str, object]) -> None:
+        if ledger is not None:
+            ledger.append(rec)
+
+    waiting: Dict[str, CampaignCell] = {}
+    started = time.monotonic()
+    journal(
+        {
+            "event": "campaign-start",
+            "schema": LEDGER_SCHEMA_VERSION,
+            "time": time.time(),
+            "resume": False,
+            "n_cells": len(cells),
+            "store": store.root,
+            "queue": queue.root,
+            "policy": {"external": True},
+        }
+    )
+
+    def resolve(cell: CampaignCell, entry, via: str) -> None:
+        key = cell.key()
+        outcome = result_from_entry(entry)
+        report.outcomes[key] = outcome
+        journal(
+            {
+                "event": "cell-end",
+                "cell": key,
+                "attempt": 0 if via == "store" else 1,
+                "time": time.time(),
+                "elapsed": round(time.monotonic() - started, 4),
+                "terminal": True,
+                "status": "done",
+                "cycles": entry.cycles,
+                "fingerprint": entry.fingerprint,
+                "kernel": cell.kernel,
+                "store_hit": via == "store",
+                "store_digest": entry.digest,
+                "via": via,
+            }
+        )
+
+    try:
+        for cell in cells:
+            digest = cell_digest(cell)
+            entry = store.get(digest)
+            if entry is not None:
+                report.store_hits.append(cell.key())
+                resolve(cell, entry, via="store")
+                continue
+            queue.enqueue(cell)
+            waiting[digest] = cell
+            journal(
+                {
+                    "event": "cell-start",
+                    "cell": cell.key(),
+                    "attempt": 1,
+                    "time": time.time(),
+                    "schema": LEDGER_SCHEMA_VERSION,
+                    "spec": cell.spec(),
+                    "enqueued": True,
+                }
+            )
+        note(
+            f"dispatch: {len(report.store_hits)} store hit(s), "
+            f"{len(waiting)} enqueued"
+        )
+
+        while waiting:
+            if timeout is not None and time.monotonic() - started > timeout:
+                for digest, cell in sorted(waiting.items()):
+                    key = cell.key()
+                    report.outcomes[key] = TimedOutRun(
+                        benchmark=cell.benchmark,
+                        design_point=cell.design_point,
+                        budget=timeout,
+                        elapsed=time.monotonic() - started,
+                        error="external dispatch timed out awaiting workers",
+                    )
+                    journal(
+                        {
+                            "event": "cell-end",
+                            "cell": key,
+                            "attempt": 1,
+                            "time": time.time(),
+                            "elapsed": round(time.monotonic() - started, 4),
+                            "terminal": False,
+                            "status": "timeout",
+                            "transient": True,
+                            "error_type": "WallClockExceededError",
+                            "error": "external dispatch timed out",
+                        }
+                    )
+                break
+            failed = queue.failed()
+            for digest in sorted(waiting):
+                cell = waiting[digest]
+                entry = store.get(digest)
+                if entry is not None:
+                    del waiting[digest]
+                    resolve(cell, entry, via="external")
+                elif digest in failed:
+                    del waiting[digest]
+                    key = cell.key()
+                    doc = failed[digest]
+                    outcome = FailedRun(
+                        benchmark=cell.benchmark,
+                        design_point=cell.design_point,
+                        error_type=str(doc.get("error_type", "FailedRun")),
+                        error=str(doc.get("error", "external worker failure")),
+                    )
+                    report.outcomes[key] = outcome
+                    journal(
+                        {
+                            "event": "cell-end",
+                            "cell": key,
+                            "attempt": 1,
+                            "time": time.time(),
+                            "elapsed": round(time.monotonic() - started, 4),
+                            "terminal": True,
+                            "status": "failed",
+                            "transient": False,
+                            "error_type": outcome.error_type,
+                            "error": outcome.error,
+                        }
+                    )
+            if waiting:
+                sleep(poll)
+    finally:
+        journal(
+            {
+                "event": "campaign-end",
+                "time": time.time(),
+                "complete": not waiting,
+                "n_done": report.n_done,
+                "n_failed": report.n_failed,
+                "retries": 0,
+            }
+        )
+        if ledger is not None:
+            ledger.close()
+    return report

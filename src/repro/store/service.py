@@ -1,0 +1,534 @@
+"""``repro serve`` — the async batch-query front end over the result store.
+
+The design-space study as a *service*: clients ask "what is the speedup
+of design point X on kernel Y at scale Z" and the server answers from the
+content-addressed store (:mod:`repro.store.store`), simulating only on a
+miss.  The shape follows the ordered-streaming systems the ROADMAP names
+(Prasaad et al.; FastFlow): a single async dispatch plane absorbs heavy
+concurrent query traffic, while the actual work — cell simulation — runs
+on a decoupled worker farm (a local process pool, or external workers
+pulling from the shared :class:`~repro.store.dispatch.WorkQueue`).
+
+Three guarantees:
+
+* **hits never schedule work** — a stored digest is answered straight
+  from disk, with only the store read on the critical path;
+* **misses simulate exactly once** — concurrent queries naming the same
+  digest coalesce onto one in-flight task
+  (:attr:`QueryService.inflight`), so a thundering herd of identical
+  queries costs one simulation; the store's dedupe semantics extend the
+  same property across processes and hosts;
+* **stdlib only** — the HTTP layer is a minimal HTTP/1.1 implementation
+  over ``asyncio`` streams; no web framework enters the dependency set.
+
+Endpoints::
+
+    GET  /healthz   liveness + store reachability
+    GET  /metrics   hit/miss/coalesce/latency counters + store stats
+    POST /query     {"queries": [{...}, ...]}  ->  {"answers": [...]}
+
+A query names a cell the way campaign grids do::
+
+    {"benchmark": "wc", "design_point": "HEAVYWT", "kernel": "event",
+     "scale": 0.5, "speedup": true}
+
+``trip_count`` pins the iteration count exactly; otherwise ``scale``
+multiplies the benchmark's experiment default — the same knob the CLI
+grids use.  ``"speedup": true`` additionally resolves the benchmark's
+single-threaded baseline cell (through the same store/coalescing path)
+and reports ``baseline_cycles / cycles``, the paper's Figure-9 metric.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.harness.campaign import CampaignCell, execute_cell
+from repro.harness.runner import RunResult
+from repro.store.dispatch import WorkQueue
+from repro.store.store import ResultStore, StoreEntry, cell_digest, result_from_entry
+
+__all__ = [
+    "LocalExecutor",
+    "QueryError",
+    "QueryService",
+    "QueueExecutor",
+    "ServeHandle",
+    "ServeMetrics",
+    "start_service",
+]
+
+
+class QueryError(Exception):
+    """A query that cannot be answered (bad spec, failed simulation)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServeMetrics:
+    """Process-lifetime counters the ``/metrics`` endpoint exposes."""
+
+    queries: int = 0
+    batches: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Queries that attached to an already-in-flight miss instead of
+    #: scheduling their own simulation.
+    coalesced: int = 0
+    errors: int = 0
+    latency_total_s: float = 0.0
+    latency_max_s: float = 0.0
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency_total_s += seconds
+        self.latency_max_s = max(self.latency_max_s, seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        avg = self.latency_total_s / self.queries if self.queries else 0.0
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "latency_avg_ms": round(avg * 1e3, 3),
+            "latency_max_ms": round(self.latency_max_s * 1e3, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# Miss executors
+# ----------------------------------------------------------------------
+
+
+def _execute_spec(spec: Dict[str, object], wall_clock_budget: Optional[float]):
+    """Process-pool entry point: run one cell, return a transportable outcome."""
+    cell = CampaignCell.from_spec(spec)
+    outcome = execute_cell(cell, wall_clock_budget=wall_clock_budget)
+    if isinstance(outcome, RunResult):
+        outcome.machine = None
+        outcome.trace = None
+    return outcome
+
+
+class LocalExecutor:
+    """Resolve misses on an in-host process pool (the single-host farm).
+
+    Simulation is CPU-bound pure Python, so worker *processes* — not
+    threads — are what lets concurrent misses use multiple cores.  The
+    event loop only ever awaits; publication back to the store happens on
+    the loop thread, keeping the store instance single-writer in this
+    process.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        jobs: int = 2,
+        wall_clock_budget: Optional[float] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = store
+        self.wall_clock_budget = wall_clock_budget
+        # ``forkserver``, not the platform-default ``fork``: the pool
+        # starts its workers lazily on the first miss, by which time the
+        # server holds open client sockets — plain-forked workers would
+        # inherit those fds and keep them alive long after the response,
+        # so clients reading to EOF (Connection: close) would never see
+        # it.  Forkserver children fork from a clean early-started helper
+        # and inherit none of the server's descriptors.
+        self.pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=multiprocessing.get_context("forkserver")
+        )
+
+    async def resolve(self, cell: CampaignCell, digest: str) -> StoreEntry:
+        loop = asyncio.get_running_loop()
+        outcome = await loop.run_in_executor(
+            self.pool, _execute_spec, cell.spec(), self.wall_clock_budget
+        )
+        if not isinstance(outcome, RunResult):
+            raise QueryError(
+                f"simulation failed: {outcome.error_type}: {outcome.error}",
+                status=502,
+            )
+        entry, _created = self.store.put(
+            cell, outcome, provenance={"campaign": "serve", "attempt": 1}
+        )
+        return entry
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+
+
+class QueueExecutor:
+    """Resolve misses by enqueueing onto the shared work queue (the fleet).
+
+    The serve process never simulates: it enqueues the miss (idempotent —
+    a digest already queued by another dispatcher shares the entry) and
+    awaits the store, where some external :func:`~repro.store.dispatch.run_worker`
+    publishes the result.  ``timeout`` bounds how long a query will wait
+    for the fleet before erroring out.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        queue: WorkQueue,
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.store = store
+        self.queue = queue
+        self.poll = poll
+        self.timeout = timeout
+
+    async def resolve(self, cell: CampaignCell, digest: str) -> StoreEntry:
+        self.queue.enqueue(cell)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        while True:
+            if self.store.contains(digest):
+                entry = self.store.get(digest)
+                if entry is not None:
+                    return entry
+            failed = self.queue.failed()
+            if digest in failed:
+                doc = failed[digest]
+                raise QueryError(
+                    f"simulation failed on worker: "
+                    f"{doc.get('error_type')}: {doc.get('error')}",
+                    status=502,
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryError(
+                    f"no worker produced {digest[:16]} within "
+                    f"{self.timeout:g}s (is the fleet running?)",
+                    status=504,
+                )
+            await asyncio.sleep(self.poll)
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+
+
+def _query_cell(query: Dict[str, object]) -> CampaignCell:
+    """Build the cell a query names; :class:`QueryError` on a bad spec."""
+    if not isinstance(query, dict):
+        raise QueryError("each query must be a JSON object")
+    if "benchmark" not in query:
+        raise QueryError("query is missing 'benchmark'")
+    trip_count = query.get("trip_count")
+    if trip_count is None:
+        from repro.harness.experiments import EXPERIMENT_TRIPS
+
+        benchmark = str(query["benchmark"])
+        if benchmark not in EXPERIMENT_TRIPS:
+            raise QueryError(f"unknown benchmark {benchmark!r}")
+        scale = float(query.get("scale", 1.0))
+        if scale <= 0:
+            raise QueryError("'scale' must be positive")
+        trip_count = max(32, int(EXPERIMENT_TRIPS[benchmark] * scale))
+    try:
+        return CampaignCell(
+            benchmark=str(query["benchmark"]),
+            design_point=str(query.get("design_point", "HEAVYWT")),
+            kind=str(query.get("kind", "benchmark")),
+            trip_count=int(trip_count),
+            overrides=dict(query.get("overrides") or {}),
+            stages=query.get("stages"),
+            kernel=str(query.get("kernel", "reference")),
+        ).validate()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise QueryError(f"bad query spec: {exc}") from exc
+
+
+class QueryService:
+    """Store-backed query answering with in-flight miss coalescing."""
+
+    def __init__(self, store: ResultStore, executor, metrics: Optional[ServeMetrics] = None) -> None:
+        self.store = store
+        self.executor = executor
+        self.metrics = metrics or ServeMetrics()
+        #: digest -> the one task resolving it; concurrent queries await it.
+        self.inflight: Dict[str, "asyncio.Task[StoreEntry]"] = {}
+
+    async def resolve_cell(self, cell: CampaignCell) -> Tuple[StoreEntry, bool, bool]:
+        """Resolve one cell; returns ``(entry, hit, coalesced)``."""
+        digest = cell_digest(cell)
+        entry = self.store.get(digest)
+        if entry is not None:
+            self.metrics.hits += 1
+            return entry, True, False
+        task = self.inflight.get(digest)
+        if task is not None:
+            self.metrics.coalesced += 1
+            entry = await asyncio.shield(task)
+            return entry, False, True
+        self.metrics.misses += 1
+        task = asyncio.ensure_future(self.executor.resolve(cell, digest))
+        self.inflight[digest] = task
+        try:
+            entry = await asyncio.shield(task)
+        finally:
+            self.inflight.pop(digest, None)
+        return entry, False, False
+
+    async def answer_query(self, query: Dict[str, object]) -> Dict[str, object]:
+        """Answer one query dict; never raises — errors become data."""
+        self.metrics.queries += 1
+        started = time.monotonic()
+        try:
+            cell = _query_cell(query)
+            entry, hit, coalesced = await self.resolve_cell(cell)
+            answer: Dict[str, object] = {
+                "ok": True,
+                "digest": entry.digest,
+                "hit": hit,
+                "coalesced": coalesced,
+                "cycles": entry.cycles,
+                "fingerprint": entry.fingerprint,
+                "kernel": cell.kernel,
+                "trip_count": cell.trip_count,
+            }
+            if query.get("speedup") and cell.kind != "single":
+                baseline = CampaignCell(
+                    benchmark=cell.benchmark,
+                    kind="single",
+                    trip_count=cell.trip_count,
+                    kernel=cell.kernel,
+                ).validate()
+                base_entry, base_hit, base_coalesced = await self.resolve_cell(
+                    baseline
+                )
+                answer["baseline_cycles"] = base_entry.cycles
+                answer["baseline_digest"] = base_entry.digest
+                answer["baseline_hit"] = base_hit
+                if base_coalesced:
+                    answer["baseline_coalesced"] = True
+                answer["speedup"] = (
+                    round(base_entry.cycles / entry.cycles, 4)
+                    if entry.cycles > 0
+                    else None
+                )
+            return answer
+        except QueryError as exc:
+            self.metrics.errors += 1
+            return {"ok": False, "error": str(exc), "status": exc.status}
+        except Exception as exc:  # noqa: BLE001 - a query must never kill the server
+            self.metrics.errors += 1
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}", "status": 500}
+        finally:
+            self.metrics.observe_latency(time.monotonic() - started)
+
+    async def answer_batch(self, queries: List[Dict[str, object]]) -> List[Dict[str, object]]:
+        """Answer a batch concurrently — duplicates coalesce inside the batch."""
+        self.metrics.batches += 1
+        return list(await asyncio.gather(*(self.answer_query(q) for q in queries)))
+
+
+# ----------------------------------------------------------------------
+# Minimal HTTP/1.1 over asyncio streams
+# ----------------------------------------------------------------------
+
+#: Refuse larger request bodies (a query batch has no business being 16 MiB).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _http_response(status: int, payload: Dict[str, object]) -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 413: "Payload Too Large",
+               500: "Internal Server Error"}
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes]:
+    """Parse method, path, and body from one HTTP/1.1 request."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise ValueError("bad Content-Length") from exc
+    if content_length > MAX_BODY_BYTES:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+@dataclass
+class ServeHandle:
+    """A running server: address, service internals, and shutdown."""
+
+    server: asyncio.AbstractServer
+    service: QueryService
+    host: str
+    port: int
+    metrics: ServeMetrics = field(default_factory=ServeMetrics)
+
+    async def close(self) -> None:
+        self.server.close()
+        await self.server.wait_closed()
+        close = getattr(self.service.executor, "close", None)
+        if close is not None:
+            close()
+
+
+async def _handle_client(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, body = await _read_request(reader)
+        except (ValueError, ConnectionError, asyncio.IncompleteReadError):
+            writer.write(_http_response(400, {"ok": False, "error": "bad request"}))
+            return
+        if method == "GET" and path == "/healthz":
+            writer.write(
+                _http_response(
+                    200,
+                    {
+                        "ok": True,
+                        "store": service.store.root,
+                        "inflight": len(service.inflight),
+                    },
+                )
+            )
+        elif method == "GET" and path == "/metrics":
+            writer.write(
+                _http_response(
+                    200,
+                    {
+                        "ok": True,
+                        "serve": service.metrics.snapshot(),
+                        "store": service.store.stats(),
+                    },
+                )
+            )
+        elif method == "POST" and path == "/query":
+            try:
+                doc = json.loads(body or b"{}")
+            except json.JSONDecodeError:
+                writer.write(
+                    _http_response(400, {"ok": False, "error": "body is not JSON"})
+                )
+                return
+            if isinstance(doc, dict) and "queries" in doc:
+                queries = doc["queries"]
+            elif isinstance(doc, list):
+                queries = doc
+            else:
+                queries = [doc]
+            if not isinstance(queries, list):
+                writer.write(
+                    _http_response(
+                        400, {"ok": False, "error": "'queries' must be a list"}
+                    )
+                )
+                return
+            answers = await service.answer_batch(queries)
+            ok = all(a.get("ok") for a in answers)
+            writer.write(_http_response(200, {"ok": ok, "answers": answers}))
+        else:
+            writer.write(
+                _http_response(
+                    404, {"ok": False, "error": f"no route {method} {path}"}
+                )
+            )
+    finally:
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_service(
+    store: ResultStore,
+    executor,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServeHandle:
+    """Start the HTTP front end; ``port=0`` picks a free port.
+
+    Returns a :class:`ServeHandle` whose ``port`` is the bound port and
+    whose :meth:`~ServeHandle.close` stops the server and the executor.
+    """
+    metrics = ServeMetrics()
+    service = QueryService(store, executor, metrics)
+
+    async def handler(reader, writer):
+        await _handle_client(service, reader, writer)
+
+    server = await asyncio.start_server(handler, host=host, port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+    return ServeHandle(
+        server=server, service=service, host=host, port=bound_port, metrics=metrics
+    )
+
+
+async def serve_forever(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8763,
+    jobs: int = 2,
+    queue_root: Optional[str] = None,
+    wall_clock_budget: Optional[float] = None,
+    queue_timeout: Optional[float] = None,
+    ready: Optional[Callable[[ServeHandle], None]] = None,
+) -> None:
+    """CLI entry: build store + executor, serve until cancelled."""
+    store = ResultStore(store_root)
+    if queue_root is not None:
+        executor = QueueExecutor(
+            store, WorkQueue(queue_root), timeout=queue_timeout
+        )
+    else:
+        executor = LocalExecutor(store, jobs=jobs, wall_clock_budget=wall_clock_budget)
+    handle = await start_service(store, executor, host=host, port=port)
+    if ready is not None:
+        ready(handle)
+    try:
+        await asyncio.Event().wait()  # until cancelled
+    finally:
+        await handle.close()

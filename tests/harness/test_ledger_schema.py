@@ -1,0 +1,139 @@
+"""Satellites: ledger schema versioning and the injectable retry sleep.
+
+* Every campaign-start and cell-start record carries the ledger schema
+  version, so a reader (and the store's digest preimage) can tell a
+  pre-kernel v1 spec from a v2 one instead of silently defaulting.
+* ``CampaignCell.from_spec`` warns exactly once when upgrading a legacy
+  (kernel-less) spec.
+* ``CampaignLedger``'s ENOSPC/EIO backoff schedule is unit-tested through
+  the injected ``sleep`` hook — no wall-clock delays.
+"""
+
+import errno
+import json
+import os
+import warnings
+
+import pytest
+
+import repro.harness.campaign as campaign_mod
+from repro.harness.campaign import (
+    LEDGER_RETRIES,
+    LEDGER_RETRY_BASE,
+    LEDGER_SCHEMA_VERSION,
+    CampaignCell,
+    CampaignLedger,
+    CampaignPolicy,
+    LedgerWriteError,
+    run_campaign,
+)
+
+CELLS = [CampaignCell(benchmark="wc", design_point="HEAVYWT", trip_count=48)]
+
+
+# ----------------------------------------------------------------------
+# Schema stamping
+# ----------------------------------------------------------------------
+
+
+def test_ledger_records_carry_schema_version(tmp_path):
+    ledger = str(tmp_path / "ledger.jsonl")
+    run_campaign(CELLS, CampaignPolicy(), ledger_path=ledger)
+    records = CampaignLedger.read(ledger)
+    start = next(r for r in records if r["event"] == "campaign-start")
+    assert start["schema"] == LEDGER_SCHEMA_VERSION
+    cell_starts = [r for r in records if r["event"] == "cell-start"]
+    assert cell_starts
+    assert all(r["schema"] == LEDGER_SCHEMA_VERSION for r in cell_starts)
+    assert all("kernel" in r["spec"] for r in cell_starts)
+
+
+def test_from_spec_warns_once_for_legacy_kernel_less_spec(monkeypatch):
+    monkeypatch.setattr(campaign_mod, "_warned_legacy_spec", False)
+    legacy = CELLS[0].spec()
+    del legacy["kernel"]  # a v1 (pre-kernel) ledger record
+
+    with pytest.warns(UserWarning, match="schema v1"):
+        cell = CampaignCell.from_spec(json.loads(json.dumps(legacy)))
+    assert cell.kernel == "reference"
+
+    # Second upgrade is silent: the warning is once per process, not
+    # once per record — a resume replays thousands of them.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = CampaignCell.from_spec(json.loads(json.dumps(legacy)))
+    assert again.kernel == "reference"
+
+
+def test_from_spec_with_kernel_never_warns():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cell = CampaignCell.from_spec(CELLS[0].spec())
+    assert cell.kernel == "reference"
+
+
+# ----------------------------------------------------------------------
+# Injectable retry sleep
+# ----------------------------------------------------------------------
+
+
+class FlakyWrites:
+    """Monkeypatch target: fail the first N *record* writes with ENOSPC.
+
+    The retry loop's ``b"\\n"`` fragment terminators pass through — they
+    model the disk accepting a byte between full-record failures, and
+    letting them fail too would double-count the failure budget.
+    """
+
+    def __init__(self, failures, real_write):
+        self.remaining = failures
+        self.real_write = real_write
+        self.attempts = 0
+
+    def __call__(self, fd, data):
+        if data == b"\n":
+            return self.real_write(fd, data)
+        self.attempts += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise OSError(errno.ENOSPC, "No space left on device")
+        return self.real_write(fd, data)
+
+
+def test_append_retries_with_recorded_backoff_schedule(tmp_path, monkeypatch):
+    path = str(tmp_path / "ledger.jsonl")
+    sleeps = []
+    ledger = CampaignLedger(path, sleep=sleeps.append)
+    ledger.open()
+    flaky = FlakyWrites(failures=2, real_write=os.write)
+    monkeypatch.setattr(os, "write", flaky)
+    ledger.append({"event": "probe", "n": 1})
+    monkeypatch.undo()
+    ledger.close()
+
+    # Two failed attempts -> two exponential backoff sleeps, no real delay.
+    assert sleeps == [LEDGER_RETRY_BASE, LEDGER_RETRY_BASE * 2]
+    # The record eventually landed intact and replay skips nothing real.
+    records = CampaignLedger.read(path)
+    assert {"event": "probe", "n": 1} in records
+
+
+def test_append_exhausts_retries_into_ledger_write_error(tmp_path, monkeypatch):
+    path = str(tmp_path / "ledger.jsonl")
+    sleeps = []
+    ledger = CampaignLedger(path, sleep=sleeps.append)
+    ledger.open()
+    flaky = FlakyWrites(failures=10**6, real_write=os.write)
+    monkeypatch.setattr(os, "write", flaky)
+    with pytest.raises(LedgerWriteError, match="failed after"):
+        ledger.append({"event": "probe"})
+    monkeypatch.undo()
+    ledger.close()
+    assert sleeps == [LEDGER_RETRY_BASE * (2**i) for i in range(LEDGER_RETRIES)]
+
+
+def test_default_sleep_is_wall_clock(tmp_path):
+    import time
+
+    ledger = CampaignLedger(str(tmp_path / "l.jsonl"))
+    assert ledger._sleep is time.sleep

@@ -390,10 +390,16 @@ class TestCampaignKernel:
         assert clone.key() == cell.key()
 
     def test_legacy_spec_defaults_to_reference(self):
+        import warnings
+
         cell = CampaignCell(benchmark="wc", design_point="HEAVYWT", trip_count=64)
         spec = cell.spec()
         spec.pop("kernel")
-        assert CampaignCell.from_spec(spec).kernel == "reference"
+        with warnings.catch_warnings():
+            # May fire the once-per-process legacy-spec upgrade warning
+            # (tests/harness/test_ledger_schema.py pins that behaviour).
+            warnings.simplefilter("ignore", UserWarning)
+            assert CampaignCell.from_spec(spec).kernel == "reference"
 
     def test_kernel_choice_changes_key_not_fingerprint(self):
         ref_cell = CampaignCell(

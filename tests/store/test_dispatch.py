@@ -1,0 +1,288 @@
+"""The shared-filesystem work queue: leases, reclamation, the worker loop.
+
+Acceptance properties:
+
+* enqueue is idempotent per digest; claim hands exactly one winner the
+  lease (O_EXCL semantics);
+* a stale lease (heartbeats older than the TTL, via an injected clock)
+  is reclaimed by exactly one of any number of racing reclaimers;
+* a zombie holder's next heartbeat raises LeaseLostError instead of
+  stomping the new owner;
+* run_worker drains the queue into the store, completes store hits
+  without re-running, files deterministic failures, and releases
+  timed-out cells for retry;
+* dispatch_cells is store-first (hits never enqueue) and its ledger
+  replays through `campaign status` unchanged.
+"""
+
+import threading
+
+import pytest
+
+from repro.harness.campaign import CampaignCell, campaign_status, execute_cell
+from repro.store.dispatch import (
+    LeaseLostError,
+    WorkQueue,
+    dispatch_cells,
+    run_worker,
+)
+from repro.store.store import ResultStore, cell_digest
+
+CELL_A = CampaignCell(benchmark="wc", design_point="HEAVYWT", trip_count=48)
+CELL_B = CampaignCell(benchmark="wc", design_point="EXISTING", trip_count=48)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Queue mechanics
+# ----------------------------------------------------------------------
+
+
+def test_enqueue_is_idempotent(tmp_path):
+    q = WorkQueue(str(tmp_path / "q"))
+    d1, created1 = q.enqueue(CELL_A)
+    d2, created2 = q.enqueue(CELL_A)
+    assert d1 == d2 == cell_digest(CELL_A)
+    assert created1 and not created2
+    assert q.pending() == [d1]
+    assert q.load_cell(d1).spec() == CELL_A.spec()
+
+
+def test_claim_is_exclusive(tmp_path):
+    q = WorkQueue(str(tmp_path / "q"))
+    q.enqueue(CELL_A)
+    lease = q.claim("w1")
+    assert lease is not None and lease.worker == "w1"
+    assert q.claim("w2") is None  # held
+    q.release(lease)
+    lease2 = q.claim("w2")
+    assert lease2 is not None and lease2.worker == "w2"
+
+
+def test_claim_order_is_oldest_first(tmp_path):
+    import os
+    import time
+
+    q = WorkQueue(str(tmp_path / "q"))
+    da, _ = q.enqueue(CELL_A)
+    db, _ = q.enqueue(CELL_B)
+    # Ensure distinct mtimes regardless of filesystem timestamp granularity.
+    now = time.time()
+    os.utime(os.path.join(q.pending_dir, da + ".json"), (now - 10, now - 10))
+    os.utime(os.path.join(q.pending_dir, db + ".json"), (now, now))
+    assert q.claim("w").digest == da
+
+
+def test_stale_lease_reclaimed_exactly_once(tmp_path):
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=60.0, clock=clock)
+    digest, _ = q.enqueue(CELL_A)
+    assert q.claim("dead-worker") is not None
+
+    clock.advance(30.0)
+    assert q.claim("w2") is None  # within TTL: still live
+
+    clock.advance(31.0)  # now 61s since the only heartbeat
+    assert q.stats()["stale_leases"] == 1
+    winners = []
+    lock = threading.Lock()
+
+    def reclaim():
+        if q._reclaim_stale(digest):
+            with lock:
+                winners.append(threading.get_ident())
+
+    threads = [threading.Thread(target=reclaim) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(winners) == 1  # os.replace picks exactly one
+
+    lease = q.claim("w2")
+    assert lease is not None and lease.worker == "w2"
+
+
+def test_zombie_heartbeat_raises_lease_lost(tmp_path):
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=60.0, clock=clock)
+    q.enqueue(CELL_A)
+    zombie = q.claim("zombie")
+    clock.advance(120.0)
+    new = q.claim("fresh")  # reclaims the stale lease and takes over
+    assert new is not None and new.worker == "fresh"
+    with pytest.raises(LeaseLostError):
+        q.heartbeat(zombie)
+    q.heartbeat(new)  # the rightful owner renews fine
+
+
+def test_heartbeat_renews_staleness_clock(tmp_path):
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=60.0, clock=clock)
+    q.enqueue(CELL_A)
+    lease = q.claim("w1")
+    clock.advance(50.0)
+    q.heartbeat(lease)
+    clock.advance(50.0)  # 100s total, but only 50 since the last beat
+    assert q.claim("w2") is None
+    assert q.stats()["stale_leases"] == 0
+
+
+def test_fail_moves_to_failed_with_diagnosis(tmp_path):
+    from repro.harness.runner import FailedRun
+
+    q = WorkQueue(str(tmp_path / "q"))
+    digest, _ = q.enqueue(CELL_A)
+    lease = q.claim("w")
+    outcome = FailedRun(
+        benchmark="wc",
+        design_point="HEAVYWT",
+        error_type="DeadlockError",
+        error="queue 0 wedged",
+    )
+    q.fail(lease, outcome)
+    assert q.pending() == []
+    failed = q.failed()
+    assert failed[digest]["error_type"] == "DeadlockError"
+    assert failed[digest]["spec"] == CELL_A.spec()
+    # the spec travels with the diagnosis: operators can requeue it
+    assert q.load_cell(digest).spec() == CELL_A.spec()
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+
+
+def test_run_worker_drains_queue_into_store(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    q = WorkQueue(str(tmp_path / "q"))
+    q.enqueue(CELL_A)
+    q.enqueue(CELL_B)
+    counters = run_worker(store, q, worker_id="w1")
+    assert counters["ran"] == 2
+    assert counters["failed"] == 0
+    assert q.pending() == []
+    for cell in (CELL_A, CELL_B):
+        entry = store.get(cell_digest(cell))
+        assert entry is not None
+        direct = execute_cell(cell)
+        assert entry.fingerprint == direct.fingerprint()  # bit-identical
+
+
+def test_run_worker_completes_store_hits_without_rerunning(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    out = execute_cell(CELL_A)
+    store.put(CELL_A, out)
+    q = WorkQueue(str(tmp_path / "q"))
+    q.enqueue(CELL_A)
+    counters = run_worker(store, q, worker_id="w1")
+    assert counters["store_hits"] == 1
+    assert counters["ran"] == 0
+    assert q.pending() == []
+
+
+def test_run_worker_files_deterministic_failures(tmp_path):
+    import math
+
+    from repro.faults import FaultKind, FaultPlan, FaultRule
+
+    store = ResultStore(str(tmp_path / "store"))
+    q = WorkQueue(str(tmp_path / "q"))
+    # A permanently wedged queue: the scheduler diagnoses a deterministic
+    # DeadlockError, which the worker must file (not retry, not publish).
+    wedge = FaultPlan(
+        seed=7,
+        rules=(
+            FaultRule(
+                kind=FaultKind.QUEUE_SLOT_STALL, magnitude=math.inf, queue_id=0
+            ),
+        ),
+    )
+    bad = CampaignCell(
+        benchmark="wc", design_point="SYNCOPTI", trip_count=64, fault_plan=wedge
+    )
+    digest, _ = q.enqueue(bad)
+    counters = run_worker(store, q, worker_id="w1")
+    assert counters["failed"] == 1
+    assert q.failed()[digest]["error_type"] == "DeadlockError"
+    assert store.get(digest) is None  # failures are never published
+
+
+# ----------------------------------------------------------------------
+# Store-first external dispatch
+# ----------------------------------------------------------------------
+
+
+def test_dispatch_cells_hits_never_enqueue(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(CELL_A, execute_cell(CELL_A))
+    q = WorkQueue(str(tmp_path / "q"))
+
+    # CELL_A is stored; only CELL_B should hit the queue.  A worker
+    # thread drains it while the dispatcher waits.
+    worker = threading.Thread(
+        target=run_worker,
+        args=(ResultStore(str(tmp_path / "store")), WorkQueue(str(tmp_path / "q"))),
+        kwargs={"worker_id": "bg", "drain": True, "poll": 0.05},
+    )
+
+    started = threading.Event()
+    enqueued_digests = []
+    orig_enqueue = q.enqueue
+
+    def tracking_enqueue(cell):
+        res = orig_enqueue(cell)
+        enqueued_digests.append(res[0])
+        if not started.is_set():
+            started.set()
+            worker.start()
+        return res
+
+    q.enqueue = tracking_enqueue
+    ledger = str(tmp_path / "ledger.jsonl")
+    report = dispatch_cells(
+        [CELL_A, CELL_B], store, q, ledger_path=ledger, poll=0.05, timeout=120
+    )
+    worker.join(timeout=60)
+
+    assert enqueued_digests == [cell_digest(CELL_B)]
+    assert report.n_done == 2
+    assert report.n_failed == 0
+    assert report.store_hits == [CELL_A.key()]
+    assert report.outcomes[CELL_A.key()].fingerprint() == execute_cell(
+        CELL_A
+    ).fingerprint()
+
+    # The dispatch ledger replays through the standard status path.
+    status = campaign_status(ledger)
+    assert status["complete"]
+    assert status["by_status"] == {"done": 2}
+
+
+def test_dispatch_cells_times_out_waiting_for_workers(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    q = WorkQueue(str(tmp_path / "q"))
+    sleeps = []
+    report = dispatch_cells(
+        [CELL_A],
+        store,
+        q,
+        poll=0.0,
+        timeout=-1.0,  # already expired: no worker will ever answer
+        sleep=sleeps.append,
+    )
+    out = report.outcomes[CELL_A.key()]
+    assert not out.ok
+    assert out.error_type == "WallClockExceededError"
+    assert q.pending() == [cell_digest(CELL_A)]  # still queued for later

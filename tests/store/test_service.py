@@ -1,0 +1,276 @@
+"""``repro serve``: the async batch-query front end over the store.
+
+Acceptance properties (the issue's tentpole criteria for layer 3):
+
+* hits are answered from the store without scheduling any work;
+* misses are simulated exactly once even when duplicate queries arrive
+  concurrently (in-flight coalescing);
+* speedup queries resolve the single-threaded baseline through the same
+  path and report the Figure-9 ratio;
+* /healthz and /metrics expose liveness and hit/miss/latency counters;
+* malformed queries and bodies degrade to per-query errors or HTTP 400,
+  never a hung connection.
+
+No pytest-asyncio in the image: each test drives its own event loop via
+``asyncio.run``; HTTP tests speak raw HTTP/1.1 over asyncio streams.
+"""
+
+import asyncio
+import json
+
+from repro.harness.campaign import CampaignCell, execute_cell
+from repro.store.service import (
+    LocalExecutor,
+    QueryService,
+    ServeMetrics,
+    start_service,
+)
+from repro.store.store import ResultStore, cell_digest
+
+CELL = CampaignCell(benchmark="wc", design_point="HEAVYWT", trip_count=48)
+QUERY = {"benchmark": "wc", "design_point": "HEAVYWT", "trip_count": 48}
+
+
+class CountingExecutor:
+    """Test double: resolves misses by running in-process, counts calls."""
+
+    def __init__(self, store, delay=0.0):
+        self.store = store
+        self.delay = delay
+        self.calls = []
+
+    async def resolve(self, cell, digest):
+        self.calls.append(digest)
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        outcome = execute_cell(cell)
+        entry, _ = self.store.put(cell, outcome)
+        return entry
+
+    def close(self):
+        pass
+
+
+def _service(tmp_path, **kwargs):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = CountingExecutor(store, **kwargs)
+    return QueryService(store, executor, ServeMetrics()), store, executor
+
+
+# ----------------------------------------------------------------------
+# QueryService semantics (no HTTP)
+# ----------------------------------------------------------------------
+
+
+def test_hit_answers_without_scheduling_work(tmp_path):
+    svc, store, executor = _service(tmp_path)
+    store.put(CELL, execute_cell(CELL))
+
+    async def main():
+        return await svc.answer_query(dict(QUERY))
+
+    answer = asyncio.run(main())
+    assert answer["ok"] and answer["hit"] and not answer["coalesced"]
+    assert executor.calls == []  # the store answered; nothing scheduled
+    assert svc.metrics.hits == 1 and svc.metrics.misses == 0
+
+
+def test_miss_simulates_and_publishes(tmp_path):
+    svc, store, executor = _service(tmp_path)
+
+    async def main():
+        return await svc.answer_query(dict(QUERY))
+
+    answer = asyncio.run(main())
+    assert answer["ok"] and not answer["hit"]
+    assert executor.calls == [cell_digest(CELL)]
+    assert store.contains(cell_digest(CELL))  # published for next time
+    direct = execute_cell(CELL)
+    assert answer["cycles"] == direct.cycles
+    assert answer["fingerprint"] == direct.fingerprint()
+
+
+def test_duplicate_concurrent_misses_coalesce_to_one_simulation(tmp_path):
+    """The tentpole property: N identical in-flight queries, one run."""
+    svc, _store, executor = _service(tmp_path, delay=0.05)
+
+    async def main():
+        return await svc.answer_batch([dict(QUERY) for _ in range(5)])
+
+    answers = asyncio.run(main())
+    assert all(a["ok"] for a in answers)
+    assert len(executor.calls) == 1  # exactly one simulation
+    assert sum(1 for a in answers if a["coalesced"]) == 4
+    assert len({a["fingerprint"] for a in answers}) == 1
+    assert svc.metrics.misses == 1 and svc.metrics.coalesced == 4
+
+
+def test_batch_mixing_hits_and_misses(tmp_path):
+    svc, store, executor = _service(tmp_path)
+    store.put(CELL, execute_cell(CELL))
+    other = {"benchmark": "wc", "design_point": "EXISTING", "trip_count": 48}
+
+    async def main():
+        return await svc.answer_batch([dict(QUERY), dict(other)])
+
+    answers = asyncio.run(main())
+    assert answers[0]["hit"] and not answers[1]["hit"]
+    assert len(executor.calls) == 1
+    assert svc.metrics.hits == 1 and svc.metrics.misses == 1
+
+
+def test_speedup_query_resolves_single_baseline(tmp_path):
+    svc, _store, executor = _service(tmp_path)
+
+    async def main():
+        return await svc.answer_query({**QUERY, "speedup": True})
+
+    answer = asyncio.run(main())
+    assert answer["ok"]
+    baseline = CampaignCell(benchmark="wc", kind="single", trip_count=48)
+    assert set(executor.calls) == {cell_digest(CELL), cell_digest(baseline)}
+    single = execute_cell(baseline)
+    assert answer["baseline_cycles"] == single.cycles
+    assert answer["speedup"] == round(single.cycles / answer["cycles"], 4)
+
+
+def test_scale_query_uses_experiment_trips(tmp_path):
+    from repro.harness.experiments import EXPERIMENT_TRIPS
+
+    svc, _store, _executor = _service(tmp_path)
+
+    async def main():
+        return await svc.answer_query(
+            {"benchmark": "wc", "design_point": "HEAVYWT", "scale": 0.25}
+        )
+
+    answer = asyncio.run(main())
+    assert answer["ok"]
+    assert answer["trip_count"] == max(32, int(EXPERIMENT_TRIPS["wc"] * 0.25))
+
+
+def test_bad_queries_become_per_query_errors(tmp_path):
+    svc, _store, executor = _service(tmp_path)
+
+    async def main():
+        return await svc.answer_batch(
+            [
+                {"design_point": "HEAVYWT"},  # missing benchmark
+                {"benchmark": "no-such", "scale": 1.0},  # unknown
+                {"benchmark": "wc", "design_point": "HEAVYWT", "scale": -1},
+                dict(QUERY),  # a good one rides along unharmed
+            ]
+        )
+
+    answers = asyncio.run(main())
+    assert [a["ok"] for a in answers] == [False, False, False, True]
+    assert all(a["status"] == 400 for a in answers[:3])
+    assert svc.metrics.errors == 3
+    assert executor.calls == [cell_digest(CELL)]
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+async def _request(handle, method, path, body=None):
+    reader, writer = await asyncio.open_connection(handle.host, handle.port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode() + b"\r\n" + payload)
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout=60)
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    doc = json.loads(raw.partition(b"\r\n\r\n")[2])
+    return status, doc
+
+
+def _serve(tmp_path, seed_cells=()):
+    store = ResultStore(str(tmp_path / "store"))
+    for cell in seed_cells:
+        store.put(cell, execute_cell(cell))
+    executor = CountingExecutor(store)
+
+    async def run(scenario):
+        handle = await start_service(store, executor)
+        try:
+            return await scenario(handle)
+        finally:
+            await handle.close()
+
+    return run, executor
+
+
+def test_http_query_healthz_metrics(tmp_path):
+    run, executor = _serve(tmp_path, seed_cells=[CELL])
+    other = {"benchmark": "fir", "design_point": "EXISTING", "trip_count": 48}
+
+    async def scenario(handle):
+        status, health = await _request(handle, "GET", "/healthz")
+        assert status == 200 and health["ok"]
+
+        status, doc = await _request(
+            handle,
+            "POST",
+            "/query",
+            {"queries": [dict(QUERY), dict(other), dict(other)]},
+        )
+        assert status == 200 and doc["ok"]
+        hits = [a["hit"] for a in doc["answers"]]
+        assert hits == [True, False, False]
+        # the duplicated miss coalesced onto one simulation
+        assert len(executor.calls) == 1
+        assert sum(1 for a in doc["answers"] if a.get("coalesced")) == 1
+
+        status, metrics = await _request(handle, "GET", "/metrics")
+        assert status == 200
+        assert metrics["serve"]["queries"] == 3
+        assert metrics["serve"]["hits"] == 1
+        assert metrics["serve"]["misses"] == 1
+        assert metrics["serve"]["coalesced"] == 1
+        assert metrics["store"]["entries"] == 2
+        return True
+
+    assert asyncio.run(run(scenario))
+
+
+def test_http_bad_body_and_unknown_route(tmp_path):
+    run, _executor = _serve(tmp_path)
+
+    async def scenario(handle):
+        reader, writer = await asyncio.open_connection(handle.host, handle.port)
+        writer.write(
+            b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\nnot-json!"
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=30)
+        writer.close()
+        assert b" 400 " in raw.split(b"\r\n", 1)[0]
+
+        status, doc = await _request(handle, "GET", "/nope")
+        assert status == 404 and not doc["ok"]
+        return True
+
+    assert asyncio.run(run(scenario))
+
+
+def test_local_executor_resolves_misses_in_worker_processes(tmp_path):
+    """The real executor: a miss runs in the process pool and publishes."""
+    store = ResultStore(str(tmp_path / "store"))
+    executor = LocalExecutor(store, jobs=1)
+    try:
+
+        async def main():
+            svc = QueryService(store, executor)
+            return await svc.answer_query(dict(QUERY))
+
+        answer = asyncio.run(main())
+        assert answer["ok"] and not answer["hit"]
+        assert answer["fingerprint"] == execute_cell(CELL).fingerprint()
+        assert store.contains(cell_digest(CELL))
+    finally:
+        executor.close()
