@@ -20,12 +20,25 @@ Phase 2, the lease-reclamation drill:
    simulated exactly once overall (the store's entry count is the grid
    size and nothing was ever published twice).
 
+Phase 3 (PR 9), the randomized chaos phase:
+
+1. draw a fresh random seed (or take ``CHAOS_SEED``) and print it — any
+   failure reproduces by re-running with that seed pinned;
+2. publish a small grid through a :class:`repro.chaos.fs.ChaosFS` with
+   probabilistic EIO bursts, torn writes, lost fsyncs, and short reads,
+   retrying each publish until it lands (as a real campaign retries a
+   flaky disk);
+3. assert the store still verifies clean through the *real* filesystem
+   and serves every fingerprint bit-identically: faults may cost
+   retries, never integrity.
+
 Finally dumps store + queue stats as JSON to ``STORE_SMOKE_STATS`` (CI
 uploads it as an artifact).  Exits 0 on success, 1 with a diagnosis.
 """
 
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -200,6 +213,70 @@ def reclamation_drill(root: str) -> None:
     )
 
 
+def chaos_phase(root: str) -> None:
+    """Randomized-seed fault storm: the store survives a sick disk."""
+    from repro.chaos import ChaosFS, ChaosPlan
+    from repro.harness.campaign import execute_cell
+    from repro.harness.runner import RunResult
+
+    seed = int(os.environ.get("CHAOS_SEED") or random.randrange(2**32))
+    print(f"chaos phase: seed {seed} (rerun with CHAOS_SEED={seed})")
+    chaos = ChaosFS(
+        ChaosPlan(
+            seed=seed,
+            p_io_error=0.05,
+            p_torn_write=0.03,
+            p_lost_fsync=0.05,
+            p_short_read=0.05,
+        )
+    )
+    store_root = os.path.join(root, "store3")
+    # Even the format-marker write goes through the sick disk: retry the
+    # construction like any other durable write.
+    for attempt in range(50):
+        try:
+            sick = ResultStore(store_root, fs=chaos)
+            break
+        except OSError:
+            continue
+    else:
+        fail(f"seed {seed}: store never initialised in 50 attempts")
+    cells = _grid(trips=48)
+    outcomes = {}
+    for cell in cells:
+        outcome = execute_cell(cell)
+        if not isinstance(outcome, RunResult):
+            fail(f"simulation failed outside chaos: {outcome.error}")
+        outcomes[cell.key()] = outcome
+        for attempt in range(50):
+            try:
+                sick.put(cell, outcome, provenance={"campaign": "chaos"})
+                break
+            except OSError:
+                continue
+        else:
+            fail(f"seed {seed}: publish never landed in 50 attempts")
+    faults = sum(chaos.injected.values())
+
+    # Integrity is judged through the REAL filesystem: whatever the sick
+    # disk did, what is on it now must verify clean and read back whole.
+    clean = ResultStore(store_root)
+    report = clean.verify()
+    if report["corrupt"]:
+        fail(f"seed {seed}: chaos left corruption behind: {report}")
+    for cell in cells:
+        entry = clean.get(cell_digest(cell))
+        if entry is None:
+            fail(f"seed {seed}: published cell {cell.key()} unreadable")
+        if entry.fingerprint != outcomes[cell.key()].fingerprint():
+            fail(f"seed {seed}: fingerprint drift on {cell.key()}")
+    clean.gc()
+    print(
+        f"OK: chaos phase — {len(cells)} cells published through "
+        f"{faults} injected faults, store verifies clean"
+    )
+
+
 def cell_digest_of_orphan(orphaned: str, cells) -> str:
     for cell in cells:
         if cell_digest(cell) == orphaned:
@@ -216,6 +293,7 @@ def main() -> None:
     print(f"smoke dir: {root}")
     store = dedupe_drill(root)
     reclamation_drill(root)
+    chaos_phase(root)
 
     stats_path = os.environ.get("STORE_SMOKE_STATS") or os.path.join(
         root, "store_stats.json"

@@ -365,6 +365,56 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds a query waits for the fleet before erroring (queue mode)",
     )
+    serve.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per query before a 504 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "shed queries with 503 + Retry-After once this many are "
+            "in flight (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds SIGTERM waits for in-flight queries before closing",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "crash-point exploration drill: walk every durable-write site "
+            "of each fleet operation under kill/torn/power crash models"
+        ),
+    )
+    chaos.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="scratch directory for drill worlds (default: a tempdir)",
+    )
+    chaos.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated subset of kill,torn,power (default: all)",
+    )
+    chaos.add_argument(
+        "--ops",
+        default=None,
+        help="comma-separated subset of operation names (default: all)",
+    )
+    chaos.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-operation progress lines",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -497,12 +547,51 @@ def _serve_main(args) -> int:
                 queue_root=args.queue,
                 wall_clock_budget=args.budget,
                 queue_timeout=args.queue_timeout,
+                query_timeout=args.query_timeout,
+                max_inflight=args.max_inflight,
+                drain_grace=args.drain_grace,
                 ready=ready,
             )
         )
     except KeyboardInterrupt:
         print("repro serve: stopped")
     return 0
+
+
+def _chaos_main(parser: argparse.ArgumentParser, args) -> int:
+    from repro.chaos import CRASH_MODES, explore, standard_operations
+
+    modes = tuple(CRASH_MODES)
+    if args.modes is not None:
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+        unknown = [m for m in modes if m not in CRASH_MODES]
+        if unknown:
+            parser.error(
+                f"unknown crash mode(s) {', '.join(unknown)}; "
+                f"choose from: {', '.join(CRASH_MODES)}"
+            )
+
+    operations = standard_operations()
+    if args.ops is not None:
+        wanted = [o.strip() for o in args.ops.split(",") if o.strip()]
+        known = {op.name for op in operations}
+        unknown = [o for o in wanted if o not in known]
+        if unknown:
+            parser.error(
+                f"unknown operation(s) {', '.join(unknown)}; "
+                f"choose from: {', '.join(sorted(known))}"
+            )
+        operations = [op for op in operations if op.name in wanted]
+
+    progress = None if args.quiet else print
+    report = explore(
+        operations=operations,
+        root=args.root,
+        modes=modes,
+        progress=progress,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -519,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _store_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "chaos":
+        return _chaos_main(parser, args)
     if args.command == "bench":
         from repro.bench import main as bench_main
 

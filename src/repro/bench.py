@@ -18,14 +18,23 @@ store and then re-run against the populated one, where every cell must
 come back as a hit with a bit-identical fingerprint — the store's dedupe
 contract measured as a throughput ratio.
 
-Results land in ``BENCH_<n>.json`` (``BENCH_8.json`` for this PR), the
+Since PR 9 the record is also compared against the previous committed
+record (:func:`compare_baseline`): the chaos seam threaded under every
+durable write is supposed to cost *nothing* when absent, and the
+per-kernel throughput ratio against ``BENCH_8.json`` is the receipt.  The
+ratio gates ``--check`` only when both records were taken at the same
+trip count (quick vs full), with generous bounds — shared-CI hosts are
+noisy; the gate exists to catch a forgotten debug hook (2x), not a 5%
+wobble.
+
+Results land in ``BENCH_<n>.json`` (``BENCH_9.json`` for this PR), the
 committed perf record the CI perf-smoke job regenerates with ``--quick
 --check`` to catch regressions where the event kernel stops paying for
 itself — or where warm store reruns stop being hits.
 
 Usage::
 
-    python -m repro bench                 # full measurement, BENCH_8.json
+    python -m repro bench                 # full measurement, BENCH_9.json
     python -m repro bench --quick --check # CI smoke: fast + assertions
     python -m repro.bench --out /tmp/b.json
 """
@@ -41,7 +50,17 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.stats import geomean
 
 #: Identifier stamped into the payload and the default output file name.
-BENCH_ID = "BENCH_8"
+BENCH_ID = "BENCH_9"
+
+#: Previous committed record, the no-overhead baseline for this PR.
+BASELINE_ID = "BENCH_8"
+
+#: Acceptable per-kernel throughput ratio (current / baseline) when the
+#: two records share a trip count.  Deliberately loose: the gate is for
+#: structural regressions (an accidentally-enabled shim, a hot-path
+#: import), not host noise.
+BASELINE_RATIO_MIN = 0.5
+BASELINE_RATIO_MAX = 2.0
 
 #: The sweep's workload: the paper's flagship streaming kernel.  One
 #: benchmark keeps the full grid (kernels x design points) under a minute
@@ -219,12 +238,74 @@ def check_rows(rows: List[Dict[str, object]]) -> Dict[str, object]:
     }
 
 
+def compare_baseline(
+    rows: List[Dict[str, object]],
+    quick: bool,
+    baseline_path: Optional[str] = None,
+) -> Optional[Dict[str, object]]:
+    """Per-kernel throughput ratio against the previous committed record.
+
+    Computes, for every kernel present in both records, the geomean over
+    design points of ``current simulated_cycles_per_sec / baseline``.
+    The ratios only ``gate`` (feed ``--check``) when both records were
+    taken at the same trip count — comparing a ``--quick`` run against
+    the committed full run measures trip count, not the code.  Returns
+    ``None`` when no baseline record can be read (fresh checkout,
+    renamed file): absence of a baseline is not a regression.
+    """
+    import os
+
+    if baseline_path is None:
+        baseline_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            f"{BASELINE_ID}.json",
+        )
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+    def scps(rs) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for r in rs:
+            out.setdefault(r["kernel"], {})[r["design_point"]] = float(
+                r["simulated_cycles_per_sec"]
+            )
+        return out
+
+    cur, base = scps(rows), scps(baseline.get("rows", []))
+    ratios: Dict[str, float] = {}
+    for kernel in cur:
+        shared = [
+            cur[kernel][p] / base[kernel][p]
+            for p in cur[kernel]
+            if p in base.get(kernel, {}) and base[kernel][p] > 0
+        ]
+        if shared:
+            ratios[kernel] = round(geomean(shared), 3)
+    if not ratios:
+        return None
+    gate = bool(baseline.get("quick", False)) == quick
+    within = all(
+        BASELINE_RATIO_MIN <= r <= BASELINE_RATIO_MAX for r in ratios.values()
+    )
+    return {
+        "baseline_id": baseline.get("bench_id", BASELINE_ID),
+        "baseline_trips": baseline.get("trips"),
+        "throughput_ratio": ratios,
+        "gate": gate,
+        "within_bounds": within,
+        "bounds": [BASELINE_RATIO_MIN, BASELINE_RATIO_MAX],
+    }
+
+
 def run_bench(
     quick: bool = False,
     kernels: Optional[Sequence[str]] = None,
     with_campaign: bool = True,
 ) -> Dict[str, object]:
-    """Execute the full benchmark and return the ``BENCH_7`` payload."""
+    """Execute the full benchmark and return the ``BENCH_ID`` payload."""
     from repro.sim.kernel import KERNEL_NAMES
 
     kernels = list(kernels) if kernels is not None else list(KERNEL_NAMES)
@@ -239,6 +320,9 @@ def run_bench(
         "rows": rows,
         "checks": check_rows(rows),
     }
+    baseline = compare_baseline(rows, quick)
+    if baseline is not None:
+        payload["baseline"] = baseline
     if with_campaign:
         payload["campaign"] = bench_campaign(
             kernels, trips=max(32, trips // 8)
@@ -286,6 +370,15 @@ def render(payload: Dict[str, object]) -> str:
             f"{store['warm_seconds']}s ({store['warm_speedup']}x), "
             f"{store['warm_hits']}/{store['cells']} hits, fingerprints "
             + ("identical" if store["fingerprints_identical"] else "DIFFER")
+        )
+    baseline = payload.get("baseline")
+    if baseline:
+        pairs = ", ".join(
+            f"{k}={r}x" for k, r in baseline["throughput_ratio"].items()
+        )
+        gated = "gated" if baseline["gate"] else "informational (trips differ)"
+        lines.append(
+            f"vs {baseline['baseline_id']}: {pairs} [{gated}]"
         )
     return "\n".join(lines)
 
@@ -350,6 +443,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             if not store["fingerprints_identical"]:
                 print("CHECK FAILED: warm store fingerprints differ from cold")
                 return 1
+        baseline = payload.get("baseline")
+        if baseline is not None and baseline["gate"] and not baseline["within_bounds"]:
+            lo, hi = baseline["bounds"]
+            print(
+                f"CHECK FAILED: throughput vs {baseline['baseline_id']} "
+                f"outside [{lo}, {hi}]: {baseline['throughput_ratio']}"
+            )
+            return 1
         print("checks passed")
     return 0
 

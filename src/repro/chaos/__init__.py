@@ -1,0 +1,56 @@
+"""repro.chaos — seeded fault injection and crash-point exploration.
+
+The chaos harness answers one question about the fleet layer: *does every
+durable-write path actually survive the crashes it claims to?*  Two pieces:
+
+* :mod:`repro.chaos.fs` — :class:`ChaosFS`, a deterministic OS-boundary
+  shim implementing the :class:`repro.store.io.RealFS` facade.  Injects
+  torn writes, dropped renames, lost fsyncs, ENOSPC/EIO bursts, short
+  reads, lease-clock skew, and process-kill at enumerated crash points —
+  all on a seeded, reproducible schedule (:class:`ChaosPlan`).
+* :mod:`repro.chaos.explorer` — :func:`explore` walks every mutation site
+  of every fleet operation (store publish, worker commit, lease
+  claim/reclaim, ledger append, snapshot rotate) under three crash models
+  (kill, torn write, power loss) and asserts the post-restart invariants:
+  nothing corrupt served, nothing acknowledged lost, stale leases
+  reclaimed exactly once, quarantine evidence preserved, recovery
+  convergent with the never-crashed run.
+
+Absent by default: production code pays one ``fs=None`` branch and nothing
+else.  ``python -m repro chaos`` and ``scripts/chaos_drill.py`` run the
+full drill; DESIGN.md §13 documents the injection-site table.
+"""
+
+from repro.chaos.explorer import (
+    CRASH_MODES,
+    ChaosOperation,
+    ExplorationReport,
+    FleetHarness,
+    OperationReport,
+    Violation,
+    explore,
+    standard_operations,
+)
+from repro.chaos.fs import (
+    ChaosFS,
+    ChaosPlan,
+    FaultRule,
+    OpRecord,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "CRASH_MODES",
+    "ChaosFS",
+    "ChaosOperation",
+    "ChaosPlan",
+    "ExplorationReport",
+    "FaultRule",
+    "FleetHarness",
+    "OpRecord",
+    "OperationReport",
+    "SimulatedCrash",
+    "Violation",
+    "explore",
+    "standard_operations",
+]

@@ -1,0 +1,411 @@
+"""``repro.chaos.fs`` — a deterministic, seeded OS-boundary fault shim.
+
+:class:`ChaosFS` implements the :class:`repro.store.io.RealFS` facade and
+sits under every durable-write path in the store, the work queue, the
+campaign ledger, and the checkpoint writer.  It produces, on a seeded and
+fully reproducible schedule:
+
+* **error bursts** — ``ENOSPC``/``EIO`` (or any errno) returned from
+  ``open``/``write``/``fsync``/``replace``/``unlink``;
+* **short reads** — ``read_bytes`` returns a strict prefix once (the
+  transient glitch CRC validation plus one re-read must absorb);
+* **torn writes** — a ``write`` persists only a prefix before the
+  simulated crash;
+* **lost fsyncs / dropped renames** — the call *reports success* but the
+  durability it promised is withheld, observable only after a simulated
+  power loss (:meth:`ChaosFS.apply_crash_loss`);
+* **clock skew** — :meth:`clock` returns real time plus a configurable
+  offset, so lease-TTL staleness logic can be driven without sleeping;
+* **process kill** — :class:`SimulatedCrash` raised at an enumerated
+  operation index (``crash_at``), the crash-point explorer's lever.
+
+Two distinct loss models, because real machines die two ways:
+
+* a *process kill* (SIGKILL, OOM) loses nothing the kernel already has:
+  every completed facade call stays applied, the interrupted one is torn
+  or absent;
+* a *power loss* additionally reverts everything newer than its last
+  ``fsync`` barrier: file contents roll back to the last-fsynced bytes,
+  and renames/creates/unlinks whose parent directory was never fsynced
+  are undone.
+
+:class:`ChaosFS` tracks the second model continuously in ``_durable`` (a
+shadow of what the platter would hold) so :meth:`apply_crash_loss` can
+rewrite the real directory tree into the power-loss state — which is what
+makes the missing-directory-fsync class of bug *testable* instead of
+theoretical.
+
+Everything is driven by :class:`ChaosPlan`, plain data with a seed; the
+same plan against the same workload produces byte-identical fault
+schedules, so every chaos failure reproduces from its printed plan.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ChaosFS",
+    "ChaosPlan",
+    "FaultRule",
+    "OpRecord",
+    "SimulatedCrash",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The process died at an enumerated crash point.
+
+    Deliberately a :class:`BaseException`: production code catching
+    ``Exception`` (retry loops, degraded modes) must not be able to absorb
+    a simulated kill — nothing survives a real SIGKILL either.  Only the
+    chaos harness catches it.
+    """
+
+    def __init__(self, index: int, op: str, path: str, torn: bool = False) -> None:
+        mode = "torn mid-write" if torn else "before the call applied"
+        super().__init__(f"simulated crash at op {index}: {op} {path} ({mode})")
+        self.index = index
+        self.op = op
+        self.path = path
+        self.torn = torn
+
+
+@dataclass
+class FaultRule:
+    """One deterministic error-injection rule.
+
+    Matches facade calls by operation name and path substring; fires on
+    the ``after``-th match and the ``count - 1`` following ones (a burst).
+    """
+
+    op: str
+    error: int = errno.EIO
+    path_substr: str = ""
+    after: int = 0
+    count: int = 1
+    #: Matches seen so far (mutated by the shim).
+    seen: int = field(default=0, repr=False)
+
+    def fires(self, op: str, path: str) -> bool:
+        if op != self.op or self.path_substr not in path:
+            return False
+        self.seen += 1
+        return self.after < self.seen <= self.after + self.count
+
+
+@dataclass
+class ChaosPlan:
+    """Seeded fault schedule for one :class:`ChaosFS` instance.
+
+    Probabilities are per-call and drawn from ``random.Random(seed)``, so
+    a plan is exactly reproducible.  ``crash_at`` enumerates crash points:
+    the N-th durable-mutation call (0-based) raises
+    :class:`SimulatedCrash` — ``crash_torn`` additionally persists a
+    seeded prefix when that call is a ``write``.
+    """
+
+    seed: int = 0
+    rules: List[FaultRule] = field(default_factory=list)
+    #: Per-call probabilities of seeded faults (0.0 = never).
+    p_io_error: float = 0.0
+    p_short_read: float = 0.0
+    p_torn_write: float = 0.0
+    p_lost_fsync: float = 0.0
+    p_dropped_rename: float = 0.0
+    #: Errno used by probabilistic I/O errors.
+    io_errno: int = errno.EIO
+    #: Seconds added to :meth:`ChaosFS.clock` (lease-TTL skew).
+    clock_skew: float = 0.0
+    #: Crash-point index (counted over mutating calls), or ``None``.
+    crash_at: Optional[int] = None
+    #: Tear the write the crash lands on (persist a strict prefix).
+    crash_torn: bool = False
+
+
+@dataclass
+class OpRecord:
+    """One recorded facade call (the explorer's injection-site table)."""
+
+    index: int
+    op: str
+    path: str
+
+
+class ChaosFS:
+    """A :class:`repro.store.io.RealFS`-shaped facade that injects faults.
+
+    All real effects still happen against the real filesystem (the system
+    under test keeps its ordinary view); the shim additionally maintains
+    the *durable* shadow state used by :meth:`apply_crash_loss`.
+    """
+
+    #: Facade calls that mutate state and therefore count as crash points.
+    MUTATING_OPS = ("open", "write", "fsync", "close", "replace", "unlink", "fsync_dir")
+
+    def __init__(self, plan: Optional[ChaosPlan] = None) -> None:
+        self.plan = plan or ChaosPlan()
+        self.rng = random.Random(self.plan.seed)
+        #: Every facade call, in order (the injection-site enumeration).
+        self.ops: List[OpRecord] = []
+        #: Durable-mutation call count (the crash-point counter).
+        self.mutations = 0
+        #: Counters by fault kind, for assertions and drill reports.
+        self.injected: Dict[str, int] = {}
+        # -- power-loss shadow state ------------------------------------
+        #: path -> bytes|None: what the platter holds (None = absent).
+        #: Only paths touched through the facade are tracked.
+        self._durable: Dict[str, Optional[bytes]] = {}
+        #: dirname -> [(undo description)] of name-level ops (renames,
+        #: creates, unlinks) not yet covered by a directory fsync.
+        self._dir_pending: Dict[str, List[Tuple[str, str, str]]] = {}
+        #: fd -> path for write tracking.
+        self._fd_path: Dict[int, str] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _chance(self, p: float) -> bool:
+        return p > 0.0 and self.rng.random() < p
+
+    def _maybe_fault(self, op: str, path: str) -> None:
+        """Raise a planned or probabilistic error for this call."""
+        for rule in self.plan.rules:
+            if rule.fires(op, path):
+                self._count(f"rule:{op}")
+                raise OSError(rule.error, os.strerror(rule.error), path)
+        if op in self.MUTATING_OPS and self._chance(self.plan.p_io_error):
+            self._count(f"p:{op}")
+            raise OSError(
+                self.plan.io_errno, os.strerror(self.plan.io_errno), path
+            )
+
+    def _site(self, op: str, path: str) -> int:
+        """Record the call; crash here if it is the enumerated crash point.
+
+        Returns the mutation index of this call (for torn handling).
+        """
+        self.ops.append(OpRecord(index=len(self.ops), op=op, path=path))
+        if op not in self.MUTATING_OPS:
+            return -1
+        index = self.mutations
+        self.mutations += 1
+        if self.plan.crash_at is not None and index == self.plan.crash_at:
+            if not (self.plan.crash_torn and op == "write"):
+                raise SimulatedCrash(index, op, path)
+        return index
+
+    def _durable_snapshot(self, path: str) -> None:
+        """Start tracking ``path``: remember what the platter holds now."""
+        if path not in self._durable:
+            try:
+                with open(path, "rb") as fh:
+                    self._durable[path] = fh.read()
+            except FileNotFoundError:
+                self._durable[path] = None
+
+    # -- the facade surface ---------------------------------------------
+
+    def open(self, path: str, flags: int, mode: int = 0o644) -> int:
+        self._maybe_fault("open", path)
+        self._site("open", path)
+        if flags & (os.O_WRONLY | os.O_RDWR | os.O_CREAT):
+            self._durable_snapshot(path)
+        fd = os.open(path, flags, mode)
+        self._fd_path[fd] = path
+        if flags & os.O_CREAT and self._durable.get(path) is None:
+            # A fresh file's *name* is a directory entry: pending until
+            # the parent directory is fsynced.
+            self._pend(os.path.dirname(os.path.abspath(path)), ("create", path, ""))
+        return fd
+
+    def write(self, fd: int, data: bytes) -> int:
+        path = self._fd_path.get(fd, "<fd>")
+        self._maybe_fault("write", path)
+        index = self._site("write", path)
+        torn_here = (
+            self.plan.crash_at is not None
+            and index == self.plan.crash_at
+            and self.plan.crash_torn
+        )
+        if torn_here:
+            keep = self.rng.randrange(len(data)) if data else 0
+            os.write(fd, data[:keep])
+            self._count("torn_write")
+            raise SimulatedCrash(index, "write", path, torn=True)
+        if self._chance(self.plan.p_torn_write):
+            # Seeded torn write without a crash: a partial write the
+            # caller sees as an error (as a real short os.write surfaces
+            # once the disk is sick).
+            keep = self.rng.randrange(len(data)) if data else 0
+            os.write(fd, data[:keep])
+            self._count("torn_write")
+            raise OSError(errno.EIO, "simulated torn write", path)
+        return os.write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        path = self._fd_path.get(fd, "<fd>")
+        self._maybe_fault("fsync", path)
+        self._site("fsync", path)
+        if self._chance(self.plan.p_lost_fsync):
+            # Reports success; durability withheld (apply_crash_loss will
+            # roll the content back to the previous durable bytes).
+            self._count("lost_fsync")
+            return
+        os.fsync(fd)
+        if path != "<fd>":
+            try:
+                with open(path, "rb") as fh:
+                    self._durable[path] = fh.read()
+            except OSError:
+                pass
+
+    def close(self, fd: int) -> None:
+        self._site("close", self._fd_path.get(fd, "<fd>"))
+        self._fd_path.pop(fd, None)
+        os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._maybe_fault("replace", dst)
+        self._site("replace", dst)
+        self._durable_snapshot(src)
+        self._durable_snapshot(dst)
+        os.replace(src, dst)
+        if self._chance(self.plan.p_dropped_rename):
+            self._count("dropped_rename")
+            # Permanently volatile: even a later dir fsync will not commit
+            # it (models a firmware-grade lie, the worst case).
+            self._pend(None, ("rename", src, dst))
+            return
+        self._pend(os.path.dirname(os.path.abspath(dst)), ("rename", src, dst))
+
+    def unlink(self, path: str) -> None:
+        self._maybe_fault("unlink", path)
+        self._site("unlink", path)
+        self._durable_snapshot(path)
+        os.unlink(path)
+        self._pend(os.path.dirname(os.path.abspath(path)), ("unlink", path, ""))
+
+    def fsync_dir(self, dirname: str) -> None:
+        self._maybe_fault("fsync_dir", dirname)
+        self._site("fsync_dir", dirname)
+        if self._chance(self.plan.p_lost_fsync):
+            self._count("lost_fsync")
+            return
+        # Commit every pending name-level op under this directory.
+        for op, a, b in self._dir_pending.pop(os.path.abspath(dirname), []):
+            self._commit(op, a, b)
+
+    def makedirs(self, path: str, exist_ok: bool = True) -> None:
+        os.makedirs(path, exist_ok=exist_ok)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        self._maybe_fault("read", path)
+        self.ops.append(OpRecord(index=len(self.ops), op="read", path=path))
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if data and self._chance(self.plan.p_short_read):
+            self._count("short_read")
+            return data[: self.rng.randrange(len(data))]
+        return data
+
+    def clock(self) -> float:
+        return time.time() + self.plan.clock_skew
+
+    # -- power-loss shadow ----------------------------------------------
+
+    def _pend(
+        self, dirname: Optional[str], record: Tuple[str, str, str]
+    ) -> None:
+        key = os.path.abspath(dirname) if dirname is not None else "<never>"
+        self._dir_pending.setdefault(key, []).append(record)
+
+    def _commit(self, op: str, a: str, b: str) -> None:
+        """A name-level op became durable: fold it into the shadow."""
+        if op == "rename":
+            src, dst = a, b
+            # The rename is durable; the content that travelled is the
+            # platter's view of src (write_atomic fsyncs src first, so
+            # that is the full payload).
+            self._durable[dst] = self._durable.get(src)
+            self._durable[src] = None
+        elif op == "create":
+            try:
+                with open(a, "rb") as fh:
+                    self._durable[a] = fh.read()
+            except OSError:
+                # The name was renamed or unlinked again since the create
+                # (write_atomic's tmp file, typically).  Leave the shadow
+                # alone: the fsync barrier owns the content's durability,
+                # and the later pending rename/unlink owns the name's —
+                # clobbering to None here would revert a fully-synced
+                # rename target when that rename commits next.
+                pass
+        elif op == "unlink":
+            self._durable[a] = None
+
+    def apply_crash_loss(self) -> List[str]:
+        """Rewrite the real tree into the power-loss state; list changes.
+
+        Every tracked path reverts to its durable bytes (or disappears).
+        Call after catching :class:`SimulatedCrash` — or at any moment —
+        to simulate the power failing right now.  Paths never touched
+        through the facade are left alone.
+        """
+        reverted: List[str] = []
+        for path, data in sorted(self._durable.items()):
+            try:
+                current: Optional[bytes]
+                with open(path, "rb") as fh:
+                    current = fh.read()
+            except FileNotFoundError:
+                current = None
+            if current == data:
+                continue
+            if data is None:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            else:
+                with open(path, "wb") as fh:
+                    fh.write(data)
+            reverted.append(path)
+        self._dir_pending.clear()
+        return reverted
+
+    def close_leaked(self) -> None:
+        """Close descriptors a simulated crash abandoned mid-operation.
+
+        A real SIGKILL closes everything; the explorer calls this after
+        catching :class:`SimulatedCrash` so hundreds of trials cannot
+        exhaust the drill process's fd table.
+        """
+        for fd in list(self._fd_path):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._fd_path.clear()
+
+    # -- reporting -------------------------------------------------------
+
+    def mutation_sites(self) -> List[OpRecord]:
+        """The recorded mutating calls — the enumerable crash points."""
+        out = []
+        seen = 0
+        for rec in self.ops:
+            if rec.op in self.MUTATING_OPS:
+                out.append(OpRecord(index=seen, op=rec.op, path=rec.path))
+                seen += 1
+        return out

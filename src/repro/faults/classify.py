@@ -36,6 +36,7 @@ from typing import Optional
 TRANSIENT_ERROR_TYPES = frozenset(
     {
         "WallClockExceededError",  # in-process watchdog fired
+        "SimulationAbortedError",  # external abort probe (lease fence, drill)
         "TimedOutRun",  # hard kill by the pool watchdog
         "WorkerDiedError",  # worker exited without reporting an outcome
         "PreemptedRun",  # worker checkpointed and exited on SIGTERM

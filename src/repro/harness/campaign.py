@@ -459,6 +459,7 @@ def execute_cell(
     wall_clock_budget: Optional[float] = None,
     checkpoint: Optional[Checkpointer] = None,
     resume_from: Optional[MachineSnapshot] = None,
+    abort: Optional[Callable[[], Optional[str]]] = None,
 ) -> RunOutcome:
     """Run one cell in this process; the single executor both paths share.
 
@@ -472,6 +473,11 @@ def execute_cell(
     Either way the outcome — stats, fingerprint, trace — is identical to an
     uninterrupted run.  A SIGTERM-driven preemption surfaces as a
     :class:`~repro.harness.runner.PreemptedRun`.
+
+    ``abort`` is an external-cancellation probe (returns a reason string to
+    stop, ``None`` to keep going) checked at the kernel's wall-clock
+    cadence; queue workers pass their heartbeat fence here so a zombie
+    stops simulating soon after losing its lease.
     """
     cell.validate()
     plan = _plan_cell(cell)
@@ -486,6 +492,7 @@ def execute_cell(
                 program,
                 wall_clock_budget=wall_clock_budget,
                 checkpoint=checkpoint,
+                abort=abort,
             )
         else:
             machine = Machine(plan.config, mechanism=plan.mechanism)
@@ -493,6 +500,7 @@ def execute_cell(
                 program,
                 wall_clock_budget=wall_clock_budget,
                 checkpoint=checkpoint,
+                abort=abort,
             )
     except PreemptionRequested as exc:
         return PreemptedRun(
@@ -726,25 +734,38 @@ class CampaignLedger:
     ENOSPC/EIO retry loop (default :func:`time.sleep`).  Tests replace it
     with a recorder, so the retry path — schedule, fragment termination,
     eventual :class:`LedgerWriteError` — is exercised without real delays.
+
+    ``fs`` is the OS facade from :mod:`repro.store.io` (default: the real
+    filesystem); the chaos harness injects here to tear appends and drop
+    fsyncs under its crash models.
     """
 
     def __init__(
-        self, path: str, sleep: Optional[Callable[[float], None]] = None
+        self,
+        path: str,
+        sleep: Optional[Callable[[float], None]] = None,
+        fs=None,
     ) -> None:
+        # Imported lazily: repro.store.__init__ pulls in dispatch, which
+        # imports this module — a top-level import here would re-enter that
+        # cycle while repro.harness.campaign is still half-initialised.
+        from repro.store.io import resolve_fs
+
         self.path = str(path)
+        self.fs = resolve_fs(fs)
         self._fd: Optional[int] = None
         self._sleep: Callable[[float], None] = sleep if sleep is not None else time.sleep
 
     def open(self) -> "CampaignLedger":
         if self._fd is None:
-            self._fd = os.open(
+            self._fd = self.fs.open(
                 self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
             )
         return self
 
     def close(self) -> None:
         if self._fd is not None:
-            os.close(self._fd)
+            self.fs.close(self._fd)
             self._fd = None
 
     def append(self, record: Dict[str, object]) -> None:
@@ -763,15 +784,15 @@ class CampaignLedger:
         last: Optional[OSError] = None
         for i in range(LEDGER_RETRIES):
             try:
-                os.write(self._fd, line)
-                os.fsync(self._fd)
+                self.fs.write(self._fd, line)
+                self.fs.fsync(self._fd)
                 return
             except OSError as exc:
                 last = exc
                 # Terminate any partially-written fragment so the retried
                 # record starts on its own line; replay skips the fragment.
                 try:
-                    os.write(self._fd, b"\n")
+                    self.fs.write(self._fd, b"\n")
                 except OSError:
                     pass
                 self._sleep(LEDGER_RETRY_BASE * (2**i))

@@ -257,8 +257,17 @@ def snapshot_from_bytes(data: bytes, source: str = "<bytes>") -> MachineSnapshot
     return snapshot
 
 
+def _resolve_fs(fs):
+    # Imported lazily: repro.store.__init__ reaches this module through
+    # dispatch → campaign, so a top-level import would form a cycle while
+    # those packages are still half-initialised.
+    from repro.store.io import resolve_fs
+
+    return resolve_fs(fs)
+
+
 def write_snapshot(
-    path: str, snapshot: MachineSnapshot, keep_previous: bool = True
+    path: str, snapshot: MachineSnapshot, keep_previous: bool = True, fs=None
 ) -> None:
     """Durably persist a snapshot with write-then-rename atomicity.
 
@@ -268,40 +277,29 @@ def write_snapshot(
     With ``keep_previous`` the outgoing snapshot is rotated to
     ``<path>.prev`` first, preserving a fallback generation in case the new
     file is later found corrupt (media error after the write).
+
+    ``fs`` is the OS facade from :mod:`repro.store.io` (default: the real
+    filesystem; the chaos harness injects here).
     """
+    fs = _resolve_fs(fs)
     data = _encode(snapshot)
     tmp = path + ".tmp"
-    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    fd = fs.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
-        os.write(fd, data)
-        os.fsync(fd)
+        fs.write(fd, data)
+        fs.fsync(fd)
     finally:
-        os.close(fd)
-    if keep_previous and os.path.exists(path):
-        os.replace(path, path + PREV_SUFFIX)
-    os.replace(tmp, path)
-    _fsync_dir(os.path.dirname(os.path.abspath(path)))
+        fs.close(fd)
+    if keep_previous and fs.exists(path):
+        fs.replace(path, path + PREV_SUFFIX)
+    fs.replace(tmp, path)
+    fs.fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
-def _fsync_dir(dirname: str) -> None:
-    """Best-effort directory fsync so the rename itself is durable."""
-    try:
-        dfd = os.open(dirname, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(dfd)
-    except OSError:
-        pass
-    finally:
-        os.close(dfd)
-
-
-def read_snapshot(path: str) -> MachineSnapshot:
+def read_snapshot(path: str, fs=None) -> MachineSnapshot:
     """Read and validate one snapshot file (no quarantine, no fallback)."""
     try:
-        with open(path, "rb") as fh:
-            data = fh.read()
+        data = _resolve_fs(fs).read_bytes(path)
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
     return snapshot_from_bytes(data, source=path)
@@ -334,18 +332,19 @@ def inspect_snapshot(path: str) -> dict:
     return json.loads(meta_raw)
 
 
-def quarantine_snapshot(path: str) -> str:
+def quarantine_snapshot(path: str, fs=None) -> str:
     """Move a corrupt snapshot aside for forensics; returns the new path.
 
     Never deletes: a quarantined file is evidence (CI uploads them as
     artifacts).  Numbered suffixes keep multiple quarantines apart.
     """
+    fs = _resolve_fs(fs)
     target = path + QUARANTINE_SUFFIX
     n = 1
-    while os.path.exists(target):
+    while fs.exists(target):
         n += 1
         target = f"{path}{QUARANTINE_SUFFIX}.{n}"
-    os.replace(path, target)
+    fs.replace(path, target)
     return target
 
 
@@ -362,7 +361,7 @@ class RecoveredSnapshot:
     quarantined: List[str] = field(default_factory=list)
 
 
-def recover_snapshot(path: str) -> Optional[RecoveredSnapshot]:
+def recover_snapshot(path: str, fs=None) -> Optional[RecoveredSnapshot]:
     """Load the newest *valid* snapshot generation, quarantining bad ones.
 
     Tries ``path`` then ``path + ".prev"``.  A generation that fails
@@ -371,14 +370,15 @@ def recover_snapshot(path: str) -> Optional[RecoveredSnapshot]:
     the caller's signal to fall back to cycle 0.  Corruption therefore
     costs at most one checkpoint interval of progress, never correctness.
     """
+    fs = _resolve_fs(fs)
     quarantined: List[str] = []
     for used_fallback, candidate in ((False, path), (True, path + PREV_SUFFIX)):
-        if not os.path.exists(candidate):
+        if not fs.exists(candidate):
             continue
         try:
-            snapshot = read_snapshot(candidate)
+            snapshot = read_snapshot(candidate, fs=fs)
         except SnapshotCorruptError:
-            quarantined.append(quarantine_snapshot(candidate))
+            quarantined.append(quarantine_snapshot(candidate, fs=fs))
             continue
         return RecoveredSnapshot(
             snapshot=snapshot,
@@ -457,6 +457,8 @@ class Checkpointer:
             next grid point — checkpointing is an optimization, and a full
             disk must not kill an otherwise-healthy simulation.  When
             ``None`` (the default) the error propagates.
+        fs: OS facade from :mod:`repro.store.io` used to persist snapshots
+            (default: the real filesystem; the chaos harness injects here).
 
     The engine is passive: it never mutates machine, channel, or scheduler
     state, so RunStats and trace streams are identical with checkpointing
@@ -471,6 +473,7 @@ class Checkpointer:
         on_snapshot: Optional[Callable[[MachineSnapshot, Optional[str]], None]] = None,
         keep_previous: bool = True,
         on_write_error: Optional[Callable[[OSError], None]] = None,
+        fs=None,
     ) -> None:
         if every <= 0:
             raise ValueError("checkpoint interval must be positive")
@@ -479,6 +482,7 @@ class Checkpointer:
         self.on_snapshot = on_snapshot
         self.keep_previous = keep_previous
         self.on_write_error = on_write_error
+        self.fs = fs
         self._machine = None
         self._program = None
         self._next: float = float(every)
@@ -542,7 +546,12 @@ class Checkpointer:
         """Persist one snapshot; returns its durable path (None if none)."""
         if self.path is not None:
             try:
-                write_snapshot(self.path, snapshot, keep_previous=self.keep_previous)
+                write_snapshot(
+                    self.path,
+                    snapshot,
+                    keep_previous=self.keep_previous,
+                    fs=self.fs,
+                )
             except OSError as exc:
                 if self.on_write_error is None:
                     raise
@@ -575,6 +584,7 @@ def resume_run(
     wall_clock_budget: Optional[float] = None,
     checkpoint: Optional[Checkpointer] = None,
     kernel: Optional[str] = None,
+    abort: Optional[Callable[[], Optional[str]]] = None,
 ) -> RunStats:
     """Continue a snapshotted run to completion; returns the full-run stats.
 
@@ -644,6 +654,7 @@ def resume_run(
         trace=machine.trace,
         wall_clock_budget=wall_clock_budget,
         checkpoint=checkpoint,
+        abort=abort,
     )
     engine.total_steps = snapshot.total_steps
     for runner, rs in zip(engine.runners, snapshot.runners):

@@ -40,6 +40,7 @@ from repro.sim.kernel.base import (  # noqa: F401  (re-exported API surface)
     ContextProbe,
     CoreRunner,
     DeadlockError,
+    SimulationAbortedError,
     SimulationError,
     SimulationLimitError,
     WALL_CLOCK_CHECK_INTERVAL,
@@ -57,6 +58,7 @@ __all__ = [
     "CoreRunner",
     "DeadlockError",
     "Scheduler",
+    "SimulationAbortedError",
     "SimulationError",
     "SimulationLimitError",
     "WALL_CLOCK_CHECK_INTERVAL",

@@ -23,6 +23,7 @@ from repro.sim.kernel.base import (
     CoreRunner,
     DeadlockError,
     SimKernel,
+    SimulationAbortedError,
     SimulationError,
     SimulationLimitError,
     WALL_CLOCK_CHECK_INTERVAL,
@@ -57,6 +58,7 @@ __all__ = [
     "LinearTimeline",
     "ReferenceKernel",
     "SimKernel",
+    "SimulationAbortedError",
     "SimulationError",
     "SimulationLimitError",
     "WALL_CLOCK_CHECK_INTERVAL",

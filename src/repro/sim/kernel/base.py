@@ -112,6 +112,18 @@ class WallClockExceededError(SimulationError):
         self.elapsed = elapsed
 
 
+class SimulationAbortedError(SimulationError):
+    """An external abort probe asked the run to stop.
+
+    Raised at the wall-clock watchdog's cadence when the kernel's ``abort``
+    callable returns a reason string: queue workers use it to fence a
+    simulation whose lease was reclaimed (a zombie burning host time on a
+    cell someone else now owns), and the chaos drill uses it to bound
+    exploratory runs.  Like a wall-clock overrun it says nothing about the
+    simulation itself, so the failure classifier treats it as transient.
+    """
+
+
 class _State(enum.Enum):
     RUNNABLE = "runnable"
     BLOCKED = "blocked"
@@ -154,6 +166,7 @@ class SimKernel:
         trace=None,
         wall_clock_budget: Optional[float] = None,
         checkpoint=None,
+        abort: Optional[Callable[[], Optional[str]]] = None,
     ) -> None:
         self.runners: List[CoreRunner] = [
             CoreRunner(core_id=i, gen=g) for i, g in enumerate(generators)
@@ -164,7 +177,15 @@ class SimKernel:
         #: Host seconds this run may consume (None = unbounded).  The clock
         #: starts at construction so setup cost counts against the budget.
         self.wall_clock_budget = wall_clock_budget
-        self._wall_clock_start = time.monotonic() if wall_clock_budget else None
+        #: External-cancellation probe: returns a reason string to stop the
+        #: run (:class:`SimulationAbortedError`) or ``None`` to continue.
+        #: Checked at the watchdog cadence, so it shares the watchdog's
+        #: zero-overhead contract — when both it and the budget are ``None``
+        #: the hot loop keeps its single dead branch.
+        self.abort = abort
+        self._wall_clock_start = (
+            time.monotonic() if (wall_clock_budget or abort is not None) else None
+        )
         self._wall_clock_last_check = self._wall_clock_start
         self._wall_clock_interval = WALL_CLOCK_CHECK_INTERVAL
         self._wall_clock_next_step = WALL_CLOCK_CHECK_INTERVAL
@@ -348,9 +369,18 @@ class SimKernel:
         change RunStats or the trace stream — it only bounds how long past
         its budget a wedged run can live.
         """
+        if self.abort is not None:
+            reason = self.abort()
+            if reason is not None:
+                pm = self.build_post_mortem("aborted")
+                raise SimulationAbortedError(
+                    f"run aborted after {self.total_steps} steps: {reason}"
+                    f"\n{pm.render()}",
+                    post_mortem=pm,
+                )
         now = time.monotonic()
         elapsed = now - self._wall_clock_start
-        if elapsed > self.wall_clock_budget:
+        if self.wall_clock_budget is not None and elapsed > self.wall_clock_budget:
             pm = self.build_post_mortem("wall-clock")
             raise WallClockExceededError(
                 f"exceeded the {self.wall_clock_budget:g}s wall-clock budget after "

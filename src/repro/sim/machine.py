@@ -104,8 +104,15 @@ class Machine:
         wall_clock_budget: Optional[float] = None,
         checkpoint=None,
         kernel: Optional[str] = None,
+        abort=None,
     ) -> RunStats:
         """Co-simulate ``program`` to completion; returns per-thread stats.
+
+        ``abort`` is an external-cancellation probe (``() -> Optional[str]``;
+        a reason string stops the run with
+        :class:`~repro.sim.kernel.SimulationAbortedError`), checked at the
+        wall-clock watchdog's cadence — queue workers pass their lease
+        fence here.  ``None`` (the default) costs nothing.
 
         ``wall_clock_budget`` bounds the *host* seconds the run may consume
         (None = unbounded): a run that outlives it raises
@@ -154,6 +161,7 @@ class Machine:
             trace=self.trace,
             wall_clock_budget=wall_clock_budget,
             checkpoint=checkpoint,
+            abort=abort,
         )
         engine.install(self)
         engine.run()

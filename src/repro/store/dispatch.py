@@ -59,6 +59,7 @@ from repro.harness.campaign import (
     execute_cell,
 )
 from repro.harness.runner import FailedRun, RunResult, TimedOutRun
+from repro.store.io import resolve_fs, write_atomic
 from repro.store.store import ResultStore, cell_digest, result_from_entry
 
 __all__ = [
@@ -94,17 +95,6 @@ class Lease:
     acquired_at: float
 
 
-def _write_atomic(path: str, data: bytes) -> None:
-    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-    try:
-        os.write(fd, data)
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-    os.replace(tmp, path)
-
-
 class WorkQueue:
     """A shared-filesystem queue of campaign cells with crash-safe leases."""
 
@@ -112,26 +102,40 @@ class WorkQueue:
         self,
         root: str,
         lease_ttl: float = DEFAULT_LEASE_TTL,
-        clock: Callable[[], float] = time.time,
+        clock: Optional[Callable[[], float]] = None,
+        fs=None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
         self.root = str(root)
         self.lease_ttl = float(lease_ttl)
-        self.clock = clock
+        #: OS facade for every durable path (:mod:`repro.store.io`); the
+        #: default is the real filesystem, :mod:`repro.chaos` injects here.
+        self.fs = resolve_fs(fs)
+        #: Staleness clock.  Defaults to the facade's (so chaos clock skew
+        #: reaches lease TTL judgements); still separately injectable for
+        #: tests that step time by hand.
+        self.clock: Callable[[], float] = clock if clock is not None else self.fs.clock
         self.pending_dir = os.path.join(self.root, "pending")
         self.leases_dir = os.path.join(self.root, "leases")
         self.failed_dir = os.path.join(self.root, "failed")
         for d in (self.pending_dir, self.leases_dir, self.failed_dir):
-            os.makedirs(d, exist_ok=True)
+            self.fs.makedirs(d, exist_ok=True)
 
     # -- enqueue --------------------------------------------------------
 
     def enqueue(self, cell: CampaignCell) -> Tuple[str, bool]:
-        """Add one cell; returns ``(digest, created)``.  Idempotent."""
+        """Add one cell; returns ``(digest, created)``.  Idempotent.
+
+        The pending file is the *only* record that the cell exists, and
+        callers acknowledge the enqueue to their own callers (a dispatcher
+        starts awaiting the digest) — so the write carries the full
+        directory-fsync discipline: a power loss after ``enqueue`` returns
+        must never silently unqueue the cell.
+        """
         digest = cell_digest(cell)
         path = os.path.join(self.pending_dir, digest + ".json")
-        if os.path.exists(path):
+        if self.fs.exists(path):
             return digest, False
         doc = {
             "digest": digest,
@@ -139,7 +143,11 @@ class WorkQueue:
             "spec": cell.spec(),
             "enqueued_at": self.clock(),
         }
-        _write_atomic(path, (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"))
+        write_atomic(
+            path,
+            (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"),
+            fs=self.fs,
+        )
         return digest, True
 
     def pending(self) -> List[str]:
@@ -161,9 +169,8 @@ class WorkQueue:
         for d in (self.pending_dir, self.failed_dir):
             path = os.path.join(d, digest + ".json")
             try:
-                with open(path, "r", encoding="utf-8") as fh:
-                    doc = json.load(fh)
-            except (OSError, json.JSONDecodeError):
+                doc = json.loads(self.fs.read_bytes(path).decode("utf-8"))
+            except (OSError, ValueError):
                 continue
             return CampaignCell.from_spec(doc["spec"])
         raise KeyError(f"digest {digest[:16]} not queued")
@@ -175,9 +182,8 @@ class WorkQueue:
 
     def _read_lease(self, path: str) -> Optional[Dict[str, object]]:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            return json.loads(self.fs.read_bytes(path).decode("utf-8"))
+        except (OSError, ValueError):
             # Missing, or caught mid-replace: treat as unreadable-now.
             return None
 
@@ -191,14 +197,14 @@ class WorkQueue:
             sort_keys=True,
         ).encode("utf-8")
         try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            fd = self.fs.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
             return None
         try:
-            os.write(fd, body)
-            os.fsync(fd)
+            self.fs.write(fd, body)
+            self.fs.fsync(fd)
         finally:
-            os.close(fd)
+            self.fs.close(fd)
         return Lease(
             digest=digest, path=path, worker=worker, token=token, acquired_at=now
         )
@@ -215,17 +221,29 @@ class WorkQueue:
         path = self._lease_path(digest)
         doc = self._read_lease(path)
         if doc is None:
-            return False
-        beat = float(doc.get("time", 0.0))
-        if self.clock() - beat <= self.lease_ttl:
-            return False
+            # Missing — or present but unreadable: a claimer that died
+            # between its O_EXCL create and the body write leaves a torn
+            # lease that will never heartbeat.  Age it by file mtime so it
+            # becomes reclaimable after one TTL (younger could still be a
+            # live claimer between create and write); without this, a torn
+            # lease wedges its digest forever (found by the chaos drill).
+            try:
+                age = self.clock() - os.path.getmtime(path)
+            except OSError:
+                return False  # truly gone
+            if age <= self.lease_ttl:
+                return False
+        else:
+            beat = float(doc.get("time", 0.0))
+            if self.clock() - beat <= self.lease_ttl:
+                return False
         tombstone = f"{path}.stale.{os.getpid()}.{threading.get_ident()}"
         try:
-            os.replace(path, tombstone)
+            self.fs.replace(path, tombstone)
         except FileNotFoundError:
             return False  # another reclaimer won
         try:
-            os.unlink(tombstone)
+            self.fs.unlink(tombstone)
         except OSError:
             pass
         return True
@@ -258,7 +276,15 @@ class WorkQueue:
                 f"heartbeats or completed elsewhere)"
             )
         doc["time"] = self.clock()
-        _write_atomic(lease.path, (json.dumps(doc, sort_keys=True) + "\n").encode())
+        # dir_sync=False: a lease renewal rolled back by power loss only
+        # makes the heartbeat *look* older, and the token fence already
+        # protects the holder against the resulting early reclamation.
+        write_atomic(
+            lease.path,
+            (json.dumps(doc, sort_keys=True) + "\n").encode(),
+            fs=self.fs,
+            dir_sync=False,
+        )
 
     def complete(self, lease: Lease) -> None:
         """Retire a finished cell: drop its pending entry and lease."""
@@ -267,14 +293,18 @@ class WorkQueue:
             lease.path,
         ):
             try:
-                os.unlink(path)
+                self.fs.unlink(path)
             except OSError:
                 pass
+        # Make the retirement durable: if the pending-entry unlink reverts
+        # on power loss the cell merely re-runs (the store dedupes), but
+        # syncing here keeps "completed" meaning completed on the platter.
+        self.fs.fsync_dir(self.pending_dir)
 
     def release(self, lease: Lease) -> None:
         """Give a claimed cell back (still pending, claimable by anyone)."""
         try:
-            os.unlink(lease.path)
+            self.fs.unlink(lease.path)
         except OSError:
             pass
 
@@ -288,13 +318,18 @@ class WorkQueue:
         target = os.path.join(self.failed_dir, lease.digest + ".json")
         doc: Dict[str, object] = {"digest": lease.digest, "failed_at": self.clock()}
         try:
-            with open(pending, "r", encoding="utf-8") as fh:
-                doc["spec"] = json.load(fh)["spec"]
-        except (OSError, json.JSONDecodeError, KeyError):
+            doc["spec"] = json.loads(self.fs.read_bytes(pending).decode("utf-8"))[
+                "spec"
+            ]
+        except (OSError, ValueError, KeyError):
             pass
         doc["error_type"] = getattr(outcome, "error_type", type(outcome).__name__)
         doc["error"] = getattr(outcome, "error", str(outcome))
-        _write_atomic(target, (json.dumps(doc, sort_keys=True) + "\n").encode())
+        # Fully dir-synced: the diagnosis is the only copy of the evidence
+        # once the pending entry is retired below.
+        write_atomic(
+            target, (json.dumps(doc, sort_keys=True) + "\n").encode(), fs=self.fs
+        )
         self.complete(lease)
 
     def failed(self) -> Dict[str, Dict[str, object]]:
@@ -340,7 +375,18 @@ def default_worker_id() -> str:
 
 
 class _HeartbeatThread(threading.Thread):
-    """Renews one lease in the background while the cell simulates."""
+    """Renews one lease in the background while the cell simulates.
+
+    Failures are *surfaced*, not swallowed: ``lost`` is the fence the
+    worker loop checks.  It is set immediately on :class:`LeaseLostError`
+    (another worker holds the cell now), and also when heartbeat I/O keeps
+    erroring for longer than the lease TTL — at that point the lease is
+    stale from every other worker's point of view whether or not the
+    renewal bytes ever landed, so the holder must assume it was reclaimed.
+    A worker that keeps simulating after ``lost`` is a zombie: its result
+    may still be published (the store dedupes), but it must not complete,
+    fail, or release the queue entry it no longer owns.
+    """
 
     def __init__(self, queue: WorkQueue, lease: Lease, every: float) -> None:
         super().__init__(daemon=True, name=f"heartbeat-{lease.digest[:8]}")
@@ -348,6 +394,9 @@ class _HeartbeatThread(threading.Thread):
         self.lease = lease
         self.every = every
         self.lost = threading.Event()
+        #: Transient heartbeat I/O errors absorbed so far (observability).
+        self.io_failures = 0
+        self._last_ok = queue.clock()
         # NB: not named _stop — threading.Thread owns that attribute and
         # calls it internally when the thread finishes.
         self._halt = threading.Event()
@@ -360,7 +409,15 @@ class _HeartbeatThread(threading.Thread):
                 self.lost.set()
                 return
             except OSError:
-                continue  # transient FS hiccup; the TTL absorbs a few
+                # A single hiccup is absorbed by the TTL; a run of them
+                # longer than the TTL means the lease has gone stale on
+                # disk and anyone may have reclaimed it — fence ourselves.
+                self.io_failures += 1
+                if self.queue.clock() - self._last_ok > self.queue.lease_ttl:
+                    self.lost.set()
+                    return
+                continue
+            self._last_ok = self.queue.clock()
 
     def stop(self) -> None:
         self._halt.set()
@@ -395,7 +452,14 @@ def run_worker(
     worker_id = worker_id or default_worker_id()
     if heartbeat_every is None:
         heartbeat_every = queue.lease_ttl / 3.0
-    counters = {"ran": 0, "store_hits": 0, "failed": 0, "released": 0, "lease_lost": 0}
+    counters = {
+        "ran": 0,
+        "store_hits": 0,
+        "failed": 0,
+        "released": 0,
+        "lease_lost": 0,
+        "io_errors": 0,
+    }
 
     def note(msg: str) -> None:
         if progress is not None:
@@ -424,8 +488,19 @@ def run_worker(
             continue
         beat = _HeartbeatThread(queue, lease, heartbeat_every)
         beat.start()
+
+        def fence() -> Optional[str]:
+            # Probed by the kernel at its wall-clock cadence: a fenced
+            # zombie stops simulating within one check interval instead of
+            # burning the whole cell before discovering the lease is gone.
+            if beat.lost.is_set():
+                return f"lease on {lease.digest[:16]} lost (fenced heartbeat)"
+            return None
+
         try:
-            outcome = execute_cell(cell, wall_clock_budget=wall_clock_budget)
+            outcome = execute_cell(
+                cell, wall_clock_budget=wall_clock_budget, abort=fence
+            )
         finally:
             beat.stop()
             beat.join(timeout=heartbeat_every + 1.0)
@@ -434,11 +509,21 @@ def run_worker(
             note(f"[{worker_id}] lease lost on {lease.digest[:16]}; discarding")
             continue
         if isinstance(outcome, RunResult):
-            store.put(
-                cell,
-                outcome,
-                provenance={"campaign": "queue", "worker": worker_id, "attempt": 1},
-            )
+            try:
+                store.put(
+                    cell,
+                    outcome,
+                    provenance={"campaign": "queue", "worker": worker_id, "attempt": 1},
+                )
+            except OSError as exc:
+                # Publish failed (ENOSPC, EIO, mount hiccup): the result is
+                # *not* acknowledged, so give the cell back for any worker
+                # — possibly this one, next claim — to retry.
+                queue.release(lease)
+                counters["io_errors"] += 1
+                counters["released"] += 1
+                note(f"[{worker_id}] publish failed for {cell.key()}: {exc}; released")
+                continue
             queue.complete(lease)
             counters["ran"] += 1
             note(

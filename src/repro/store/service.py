@@ -45,6 +45,7 @@ import asyncio
 import concurrent.futures
 import json
 import multiprocessing
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -52,17 +53,36 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.harness.campaign import CampaignCell, execute_cell
 from repro.harness.runner import RunResult
 from repro.store.dispatch import WorkQueue
-from repro.store.store import ResultStore, StoreEntry, cell_digest, result_from_entry
+from repro.store.store import (
+    ResultStore,
+    StoreEntry,
+    StoreError,
+    cell_digest,
+    result_from_entry,
+)
 
 __all__ = [
+    "IO_RETRIES",
+    "IO_RETRY_BASE",
     "LocalExecutor",
     "QueryError",
     "QueryService",
     "QueueExecutor",
+    "RETRY_AFTER_S",
     "ServeHandle",
     "ServeMetrics",
     "start_service",
 ]
+
+#: Store/queue I/O retry budget: a flaky mount gets this many attempts
+#: with exponential backoff (``IO_RETRY_BASE * 2**i`` seconds) before the
+#: query degrades to a 503 — bounded, so a dead disk cannot pin queries
+#: forever, and generous enough to ride out a transient burst.
+IO_RETRIES = 4
+IO_RETRY_BASE = 0.05
+
+#: Seconds clients are told to back off when a request is shed.
+RETRY_AFTER_S = 1
 
 
 class QueryError(Exception):
@@ -85,6 +105,12 @@ class ServeMetrics:
     #: scheduling their own simulation.
     coalesced: int = 0
     errors: int = 0
+    #: Requests refused with 503 because the in-flight bound was hit.
+    shed: int = 0
+    #: Queries that hit their per-query wall-clock timeout (504).
+    timeouts: int = 0
+    #: Store/queue I/O errors absorbed by the retry budget (degraded mode).
+    io_errors: int = 0
     latency_total_s: float = 0.0
     latency_max_s: float = 0.0
 
@@ -101,6 +127,9 @@ class ServeMetrics:
             "misses": self.misses,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "io_errors": self.io_errors,
             "latency_avg_ms": round(avg * 1e3, 3),
             "latency_max_ms": round(self.latency_max_s * 1e3, 3),
         }
@@ -260,19 +289,80 @@ def _query_cell(query: Dict[str, object]) -> CampaignCell:
 
 
 class QueryService:
-    """Store-backed query answering with in-flight miss coalescing."""
+    """Store-backed query answering with in-flight miss coalescing.
 
-    def __init__(self, store: ResultStore, executor, metrics: Optional[ServeMetrics] = None) -> None:
+    Degradation knobs (all off by default, zero cost when unused):
+
+    * ``query_timeout`` — per-query wall-clock bound; a query that
+      outlives it answers ``504`` instead of hanging its client.
+    * ``max_inflight`` — bound on concurrently-processing queries; the
+      HTTP layer sheds whole batches beyond it with ``503`` +
+      ``Retry-After`` rather than queueing unboundedly.
+    * Store reads ride an :data:`IO_RETRIES`-deep backoff budget; while
+      errors persist the service reports ``degraded`` (with the cause)
+      from ``/healthz`` and keeps answering what it can.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        executor,
+        metrics: Optional[ServeMetrics] = None,
+        query_timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.store = store
         self.executor = executor
         self.metrics = metrics or ServeMetrics()
+        self.query_timeout = query_timeout
+        self.max_inflight = max_inflight
         #: digest -> the one task resolving it; concurrent queries await it.
         self.inflight: Dict[str, "asyncio.Task[StoreEntry]"] = {}
+        #: Queries currently being answered (the shedding bound's measure).
+        self.active = 0
+        #: Drain flag: set by SIGTERM / :meth:`ServeHandle.drain`; new
+        #: requests are refused, in-flight ones finish.
+        self.draining = False
+        #: Why the service is degraded, or ``None`` when healthy.
+        self.degraded_cause: Optional[str] = None
+
+    def state(self) -> Tuple[str, Optional[str]]:
+        """``(ok|degraded|draining, cause)`` for ``/healthz``."""
+        if self.draining:
+            return "draining", "shutdown requested; finishing in-flight queries"
+        if self.degraded_cause is not None:
+            return "degraded", self.degraded_cause
+        return "ok", None
+
+    async def _store_get(self, digest: str) -> Optional[StoreEntry]:
+        """Store lookup with the I/O retry budget; 503 once it runs dry.
+
+        A flaky read marks the service degraded (``/healthz`` reports the
+        cause); the first clean read clears it — degradation tracks the
+        *present* disk, not history.
+        """
+        last: Optional[Exception] = None
+        for attempt in range(IO_RETRIES):
+            try:
+                entry = self.store.get(digest)
+            except (OSError, StoreError) as exc:
+                last = exc
+                self.metrics.io_errors += 1
+                self.degraded_cause = f"store I/O failing: {exc}"
+                await asyncio.sleep(IO_RETRY_BASE * (2**attempt))
+                continue
+            self.degraded_cause = None
+            return entry
+        raise QueryError(
+            f"store unavailable after {IO_RETRIES} attempts: {last}", status=503
+        )
 
     async def resolve_cell(self, cell: CampaignCell) -> Tuple[StoreEntry, bool, bool]:
         """Resolve one cell; returns ``(entry, hit, coalesced)``."""
         digest = cell_digest(cell)
-        entry = self.store.get(digest)
+        entry = await self._store_get(digest)
         if entry is not None:
             self.metrics.hits += 1
             return entry, True, False
@@ -284,50 +374,79 @@ class QueryService:
         self.metrics.misses += 1
         task = asyncio.ensure_future(self.executor.resolve(cell, digest))
         self.inflight[digest] = task
-        try:
-            entry = await asyncio.shield(task)
-        finally:
+
+        def _retire(t: "asyncio.Task[StoreEntry]") -> None:
+            # Deregistered when the TASK finishes — not when a waiter is
+            # cancelled (a timed-out query's shielded task keeps running,
+            # and later queries must still coalesce onto it).  Touching
+            # the exception keeps an abandoned failure out of asyncio's
+            # never-retrieved log.
             self.inflight.pop(digest, None)
+            if not t.cancelled():
+                t.exception()
+
+        task.add_done_callback(_retire)
+        entry = await asyncio.shield(task)
         return entry, False, False
+
+    async def _answer_cell(self, query: Dict[str, object]) -> Dict[str, object]:
+        """The un-guarded answer path (wrapped in the timeout by the caller)."""
+        cell = _query_cell(query)
+        entry, hit, coalesced = await self.resolve_cell(cell)
+        answer: Dict[str, object] = {
+            "ok": True,
+            "digest": entry.digest,
+            "hit": hit,
+            "coalesced": coalesced,
+            "cycles": entry.cycles,
+            "fingerprint": entry.fingerprint,
+            "kernel": cell.kernel,
+            "trip_count": cell.trip_count,
+        }
+        if query.get("speedup") and cell.kind != "single":
+            baseline = CampaignCell(
+                benchmark=cell.benchmark,
+                kind="single",
+                trip_count=cell.trip_count,
+                kernel=cell.kernel,
+            ).validate()
+            base_entry, base_hit, base_coalesced = await self.resolve_cell(
+                baseline
+            )
+            answer["baseline_cycles"] = base_entry.cycles
+            answer["baseline_digest"] = base_entry.digest
+            answer["baseline_hit"] = base_hit
+            if base_coalesced:
+                answer["baseline_coalesced"] = True
+            answer["speedup"] = (
+                round(base_entry.cycles / entry.cycles, 4)
+                if entry.cycles > 0
+                else None
+            )
+        return answer
 
     async def answer_query(self, query: Dict[str, object]) -> Dict[str, object]:
         """Answer one query dict; never raises — errors become data."""
         self.metrics.queries += 1
+        self.active += 1
         started = time.monotonic()
         try:
-            cell = _query_cell(query)
-            entry, hit, coalesced = await self.resolve_cell(cell)
-            answer: Dict[str, object] = {
-                "ok": True,
-                "digest": entry.digest,
-                "hit": hit,
-                "coalesced": coalesced,
-                "cycles": entry.cycles,
-                "fingerprint": entry.fingerprint,
-                "kernel": cell.kernel,
-                "trip_count": cell.trip_count,
-            }
-            if query.get("speedup") and cell.kind != "single":
-                baseline = CampaignCell(
-                    benchmark=cell.benchmark,
-                    kind="single",
-                    trip_count=cell.trip_count,
-                    kernel=cell.kernel,
-                ).validate()
-                base_entry, base_hit, base_coalesced = await self.resolve_cell(
-                    baseline
+            if self.draining:
+                raise QueryError("server is draining", status=503)
+            if self.query_timeout is None:
+                return await self._answer_cell(query)
+            try:
+                return await asyncio.wait_for(
+                    self._answer_cell(query), timeout=self.query_timeout
                 )
-                answer["baseline_cycles"] = base_entry.cycles
-                answer["baseline_digest"] = base_entry.digest
-                answer["baseline_hit"] = base_hit
-                if base_coalesced:
-                    answer["baseline_coalesced"] = True
-                answer["speedup"] = (
-                    round(base_entry.cycles / entry.cycles, 4)
-                    if entry.cycles > 0
-                    else None
-                )
-            return answer
+            except asyncio.TimeoutError:
+                # The in-flight task keeps running under its shield: a
+                # later retry can still coalesce onto (or hit) its result.
+                self.metrics.timeouts += 1
+                raise QueryError(
+                    f"query exceeded the {self.query_timeout:g}s budget",
+                    status=504,
+                ) from None
         except QueryError as exc:
             self.metrics.errors += 1
             return {"ok": False, "error": str(exc), "status": exc.status}
@@ -335,6 +454,7 @@ class QueryService:
             self.metrics.errors += 1
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}", "status": 500}
         finally:
+            self.active -= 1
             self.metrics.observe_latency(time.monotonic() - started)
 
     async def answer_batch(self, queries: List[Dict[str, object]]) -> List[Dict[str, object]]:
@@ -351,15 +471,22 @@ class QueryService:
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
-def _http_response(status: int, payload: Dict[str, object]) -> bytes:
+def _http_response(
+    status: int,
+    payload: Dict[str, object],
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 413: "Payload Too Large",
-               500: "Internal Server Error"}
+               500: "Internal Server Error", 503: "Service Unavailable",
+               504: "Gateway Timeout"}
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     ).encode("ascii")
     return head + body
@@ -403,6 +530,23 @@ class ServeHandle:
     port: int
     metrics: ServeMetrics = field(default_factory=ServeMetrics)
 
+    async def drain(self, grace: float = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight, close.
+
+        The SIGTERM path.  Marks the service draining (``/healthz`` says
+        so; new queries get 503), stops accepting connections, waits up to
+        ``grace`` seconds for active queries to complete, then closes.
+        Returns ``True`` when everything in flight finished in time.
+        """
+        self.service.draining = True
+        self.server.close()
+        deadline = time.monotonic() + grace
+        while self.service.active > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        drained = self.service.active == 0
+        await self.close()
+        return drained
+
     async def close(self) -> None:
         self.server.close()
         await self.server.wait_closed()
@@ -423,16 +567,19 @@ async def _handle_client(
             writer.write(_http_response(400, {"ok": False, "error": "bad request"}))
             return
         if method == "GET" and path == "/healthz":
-            writer.write(
-                _http_response(
-                    200,
-                    {
-                        "ok": True,
-                        "store": service.store.root,
-                        "inflight": len(service.inflight),
-                    },
-                )
-            )
+            state, cause = service.state()
+            health: Dict[str, object] = {
+                "ok": state == "ok",
+                "state": state,
+                "store": service.store.root,
+                "inflight": len(service.inflight),
+                "active": service.active,
+            }
+            if cause is not None:
+                health["cause"] = cause
+            # Health stays a 200 even degraded/draining: the prober wants
+            # the diagnosis, not a connection slammed in its face.
+            writer.write(_http_response(200, health))
         elif method == "GET" and path == "/metrics":
             writer.write(
                 _http_response(
@@ -465,6 +612,37 @@ async def _handle_client(
                     )
                 )
                 return
+            if service.draining:
+                writer.write(
+                    _http_response(
+                        503,
+                        {"ok": False, "error": "server is draining"},
+                        headers={"Retry-After": str(RETRY_AFTER_S)},
+                    )
+                )
+                return
+            if (
+                service.max_inflight is not None
+                and service.active + len(queries) > service.max_inflight
+            ):
+                # Load shedding: refuse the whole batch now, cheaply, with
+                # a back-off hint — never queue unboundedly and never hang.
+                service.metrics.shed += 1
+                writer.write(
+                    _http_response(
+                        503,
+                        {
+                            "ok": False,
+                            "error": (
+                                f"overloaded: {service.active} quer(ies) in "
+                                f"flight (bound {service.max_inflight})"
+                            ),
+                            "retry_after_s": RETRY_AFTER_S,
+                        },
+                        headers={"Retry-After": str(RETRY_AFTER_S)},
+                    )
+                )
+                return
             answers = await service.answer_batch(queries)
             ok = all(a.get("ok") for a in answers)
             writer.write(_http_response(200, {"ok": ok, "answers": answers}))
@@ -488,14 +666,24 @@ async def start_service(
     executor,
     host: str = "127.0.0.1",
     port: int = 0,
+    query_timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
 ) -> ServeHandle:
     """Start the HTTP front end; ``port=0`` picks a free port.
 
     Returns a :class:`ServeHandle` whose ``port`` is the bound port and
     whose :meth:`~ServeHandle.close` stops the server and the executor.
+    ``query_timeout`` / ``max_inflight`` arm the degradation knobs
+    (:class:`QueryService`); both default off.
     """
     metrics = ServeMetrics()
-    service = QueryService(store, executor, metrics)
+    service = QueryService(
+        store,
+        executor,
+        metrics,
+        query_timeout=query_timeout,
+        max_inflight=max_inflight,
+    )
 
     async def handler(reader, writer):
         await _handle_client(service, reader, writer)
@@ -515,9 +703,17 @@ async def serve_forever(
     queue_root: Optional[str] = None,
     wall_clock_budget: Optional[float] = None,
     queue_timeout: Optional[float] = None,
+    query_timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+    drain_grace: float = 30.0,
     ready: Optional[Callable[[ServeHandle], None]] = None,
 ) -> None:
-    """CLI entry: build store + executor, serve until cancelled."""
+    """CLI entry: build store + executor, serve until SIGTERM or cancel.
+
+    SIGTERM triggers a graceful drain (:meth:`ServeHandle.drain`): the
+    listener closes, in-flight queries get up to ``drain_grace`` seconds
+    to finish, new ones are shed with 503 — never a mid-response cut.
+    """
     store = ResultStore(store_root)
     if queue_root is not None:
         executor = QueueExecutor(
@@ -525,10 +721,27 @@ async def serve_forever(
         )
     else:
         executor = LocalExecutor(store, jobs=jobs, wall_clock_budget=wall_clock_budget)
-    handle = await start_service(store, executor, host=host, port=port)
+    handle = await start_service(
+        store,
+        executor,
+        host=host,
+        port=port,
+        query_timeout=query_timeout,
+        max_inflight=max_inflight,
+    )
     if ready is not None:
         ready(handle)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
     try:
-        await asyncio.Event().wait()  # until cancelled
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        sigterm_wired = True
+    except (NotImplementedError, RuntimeError):
+        sigterm_wired = False  # non-UNIX loop; cancellation still works
+    try:
+        await stop.wait()  # until SIGTERM (or this task is cancelled)
+        await handle.drain(grace=drain_grace)
     finally:
+        if sigterm_wired:
+            loop.remove_signal_handler(signal.SIGTERM)
         await handle.close()

@@ -52,6 +52,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.harness.campaign import LEDGER_SCHEMA_VERSION, CampaignCell
 from repro.harness.runner import RunResult
 from repro.sim.stats import COMPONENTS, RunStats, ThreadStats
+from repro.store.io import TMP_MARKER, resolve_fs, write_atomic
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
@@ -81,9 +82,6 @@ STORE_FORMAT_VERSION = 1
 
 #: Suffix quarantined (corrupt) entries are renamed to.
 QUARANTINE_SUFFIX = ".quarantined"
-
-#: Suffix of writer-private temporary files (plus a pid discriminator).
-TMP_MARKER = ".tmp."
 
 
 class StoreError(RuntimeError):
@@ -333,16 +331,19 @@ class ResultStore:
     (process-local observability, not shared state).
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, fs=None) -> None:
         self.root = str(root)
+        #: OS facade for every durable path (:mod:`repro.store.io`); the
+        #: default is the real filesystem, :mod:`repro.chaos` injects here.
+        self.fs = resolve_fs(fs)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.writes = 0
         self.dedupes = 0
-        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        self.fs.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
         marker = os.path.join(self.root, "STORE_FORMAT")
-        if not os.path.exists(marker):
+        if not self.fs.exists(marker):
             self._write_atomic(
                 marker,
                 f"{STORE_MAGIC} {STORE_FORMAT_VERSION}\n".encode("ascii"),
@@ -366,29 +367,8 @@ class ResultStore:
     # -- write ----------------------------------------------------------
 
     def _write_atomic(self, path: str, data: bytes) -> None:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}{TMP_MARKER}{os.getpid()}"
-        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        os.replace(tmp, path)
-        self._fsync_dir(os.path.dirname(path))
-
-    @staticmethod
-    def _fsync_dir(dirname: str) -> None:
-        try:
-            dfd = os.open(dirname, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(dfd)
-        except OSError:
-            pass
-        finally:
-            os.close(dfd)
+        self.fs.makedirs(os.path.dirname(path), exist_ok=True)
+        write_atomic(path, data, fs=self.fs)
 
     def put(
         self,
@@ -446,21 +426,31 @@ class ResultStore:
     # -- read -----------------------------------------------------------
 
     def _read_valid(self, digest: str) -> Optional[StoreEntry]:
-        """The digest's entry if present and valid; quarantines corruption."""
+        """The digest's entry if present and valid; quarantines corruption.
+
+        A decode failure is re-read once before quarantining: a transient
+        short read (flaky NFS, a signal-interrupted read) must not cost a
+        perfectly good entry its place in the store.  Only corruption that
+        *persists* across the second read is quarantined.
+        """
         path = self.entry_path(digest)
-        try:
-            with open(path, "rb") as fh:
-                data = fh.read()
-        except FileNotFoundError:
-            return None
-        except OSError as exc:
-            raise StoreError(f"cannot read store entry {path}: {exc}") from exc
-        try:
-            entry = _decode_entry(data, source=path)
-        except StoreCorruptError:
-            self.corrupt += 1
-            self.quarantine(path)
-            return None
+        entry = None
+        for attempt in (0, 1):
+            try:
+                data = self.fs.read_bytes(path)
+            except FileNotFoundError:
+                return None
+            except OSError as exc:
+                raise StoreError(f"cannot read store entry {path}: {exc}") from exc
+            try:
+                entry = _decode_entry(data, source=path)
+                break
+            except StoreCorruptError:
+                if attempt == 0:
+                    continue
+                self.corrupt += 1
+                self.quarantine(path)
+                return None
         if entry.digest != digest:
             # Content under the wrong address: treat as corruption.
             self.corrupt += 1
@@ -488,15 +478,14 @@ class ResultStore:
         """
         return self._read_valid(digest) is not None
 
-    @staticmethod
-    def quarantine(path: str) -> str:
+    def quarantine(self, path: str) -> str:
         """Move a corrupt entry aside for forensics; returns the new path."""
         target = path + QUARANTINE_SUFFIX
         n = 1
-        while os.path.exists(target):
+        while self.fs.exists(target):
             n += 1
             target = f"{path}{QUARANTINE_SUFFIX}.{n}"
-        os.replace(path, target)
+        self.fs.replace(path, target)
         return target
 
     # -- maintenance ----------------------------------------------------
@@ -511,8 +500,7 @@ class ResultStore:
         for path in list(self._iter_entry_paths()):
             entries += 1
             try:
-                with open(path, "rb") as fh:
-                    data = fh.read()
+                data = self.fs.read_bytes(path)
                 entry = _decode_entry(data, source=path)
                 if entry.digest != os.path.basename(path)[: -len(".entry")]:
                     raise StoreCorruptError(f"{path}: digest/path mismatch")

@@ -286,3 +286,122 @@ def test_dispatch_cells_times_out_waiting_for_workers(tmp_path):
     assert not out.ok
     assert out.error_type == "WallClockExceededError"
     assert q.pending() == [cell_digest(CELL_A)]  # still queued for later
+
+
+# ----------------------------------------------------------------------
+# Crash-consistency hardening (PR 9): torn leases, heartbeat fencing,
+# publish-failure release
+# ----------------------------------------------------------------------
+
+
+def test_torn_lease_is_reclaimed_after_one_ttl(tmp_path):
+    """A claimer that died between O_EXCL create and the body write leaves
+    an empty lease that can never heartbeat; it must age out by mtime
+    instead of wedging the digest forever (found by the chaos drill)."""
+    import os
+
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=10.0, clock=clock)
+    digest, _ = q.enqueue(CELL_A)
+    torn = q._lease_path(digest)
+    with open(torn, "wb"):
+        pass  # zero bytes: the crash landed before the body write
+
+    # Young enough to be a live claimer mid-create: not reclaimable.
+    assert q.claim("w2") is None
+    # Age it past the TTL (mtime is real time, so set it directly).
+    old = clock() - 11.0
+    os.utime(torn, (old, old))
+    lease = q.claim("w2")
+    assert lease is not None and lease.digest == digest
+    assert lease.worker == "w2"
+
+
+def test_heartbeat_thread_fences_after_sustained_io_errors(tmp_path):
+    """Renewal I/O failing for longer than the TTL means the lease is
+    stale on disk whether or not any renewal landed — the holder must
+    fence itself instead of simulating into a reclaimed cell."""
+    from repro.store.dispatch import _HeartbeatThread
+
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=10.0, clock=clock)
+    q.enqueue(CELL_A)
+    lease = q.claim("w1")
+
+    def sick_heartbeat(_lease):
+        raise OSError(5, "simulated dead mount")
+
+    q.heartbeat = sick_heartbeat
+    beat = _HeartbeatThread(q, lease, every=0.005)
+    beat.start()
+    try:
+        # Errors inside the TTL are absorbed...
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        assert not beat.lost.is_set()
+        assert beat.io_failures > 0
+        # ...but once the last successful renewal is a full TTL old the
+        # thread fences itself.
+        clock.advance(11.0)
+        fenced = beat.lost.wait(timeout=5.0)
+        assert fenced
+    finally:
+        beat.stop()
+        beat.join(timeout=5.0)
+
+
+def test_heartbeat_thread_recovers_from_transient_errors(tmp_path):
+    from repro.store.dispatch import _HeartbeatThread
+
+    clock = FakeClock()
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=10.0, clock=clock)
+    q.enqueue(CELL_A)
+    lease = q.claim("w1")
+    real_heartbeat, fail_once = q.heartbeat, [True]
+
+    def flaky_heartbeat(lse):
+        if fail_once:
+            fail_once.clear()
+            raise OSError(5, "one hiccup")
+        real_heartbeat(lse)
+
+    q.heartbeat = flaky_heartbeat
+    beat = _HeartbeatThread(q, lease, every=0.005)
+    beat.start()
+    try:
+        ok = threading.Event()
+        for _ in range(200):
+            if beat.io_failures >= 1 and not fail_once:
+                doc = q._read_lease(lease.path)
+                if doc is not None and doc.get("time") == clock():
+                    break
+            ok.wait(0.005)
+        assert beat.io_failures == 1
+        assert not beat.lost.is_set()
+    finally:
+        beat.stop()
+        beat.join(timeout=5.0)
+
+
+def test_run_worker_releases_cell_when_publish_fails(tmp_path):
+    """A failed store.put (ENOSPC/EIO) is not acknowledged: the cell goes
+    back to pending for any worker to retry, and the retry succeeds."""
+    store = ResultStore(str(tmp_path / "store"))
+    q = WorkQueue(str(tmp_path / "q"), lease_ttl=5.0)
+    q.enqueue(CELL_A)
+
+    real_put, broken = store.put, [True]
+
+    def flaky_put(cell, outcome, provenance=None):
+        if broken:
+            broken.clear()
+            raise OSError(28, "no space left on device")
+        return real_put(cell, outcome, provenance=provenance)
+
+    store.put = flaky_put
+    counters = run_worker(store, q, worker_id="w1", drain=True, poll=0.01)
+    assert counters["io_errors"] == 1
+    assert counters["released"] == 1
+    assert counters["ran"] == 1  # the retry landed
+    assert store.contains(cell_digest(CELL_A))
+    assert q.pending() == [] and q.failed() == {}

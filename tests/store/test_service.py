@@ -274,3 +274,230 @@ def test_local_executor_resolves_misses_in_worker_processes(tmp_path):
         assert store.contains(cell_digest(CELL))
     finally:
         executor.close()
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode serving (PR 9): timeouts, shedding, drain, degraded state
+# ----------------------------------------------------------------------
+
+
+class StallingExecutor:
+    """Test double: a miss blocks until ``release`` is set, then publishes."""
+
+    def __init__(self, store):
+        self.store = store
+        self.release = asyncio.Event()
+        self.calls = []
+
+    async def resolve(self, cell, digest):
+        self.calls.append(digest)
+        await self.release.wait()
+        outcome = execute_cell(cell)
+        entry, _ = self.store.put(cell, outcome)
+        return entry
+
+    def close(self):
+        pass
+
+
+class FlakyStore:
+    """ResultStore proxy whose reads raise OSError while ``fail_reads`` > 0."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.fail_reads = 0
+
+    def get(self, digest):
+        if self.fail_reads > 0:
+            self.fail_reads -= 1
+            raise OSError(5, "simulated sick disk", digest)
+        return self._inner.get(digest)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def test_query_timeout_answers_504_and_keeps_the_miss_running(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = StallingExecutor(store)
+    svc = QueryService(store, executor, query_timeout=0.05)
+    digest = cell_digest(CELL)
+
+    async def main():
+        first = await svc.answer_query(dict(QUERY))
+        assert first["status"] == 504 and "budget" in first["error"]
+        # The shielded task outlives its timed-out waiter: the simulation
+        # is not wasted and later queries can still use its result.
+        assert digest in svc.inflight
+        executor.release.set()
+        await svc.inflight[digest]
+        second = await svc.answer_query(dict(QUERY))
+        return second
+
+    second = asyncio.run(main())
+    assert second["ok"] and second["hit"]
+    assert executor.calls == [digest]  # exactly one simulation despite the 504
+    assert svc.metrics.timeouts == 1
+
+
+def test_draining_service_refuses_queries_with_503(tmp_path):
+    svc, _store, _executor = _service(tmp_path)
+    svc.draining = True
+    assert svc.state()[0] == "draining"
+
+    async def main():
+        return await svc.answer_query(dict(QUERY))
+
+    answer = asyncio.run(main())
+    assert not answer["ok"] and answer["status"] == 503
+
+
+def test_flaky_store_reads_ride_the_retry_budget(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(CELL, execute_cell(CELL))
+    flaky = FlakyStore(store)
+    svc = QueryService(flaky, CountingExecutor(store))
+    flaky.fail_reads = 2  # two bad reads, then the disk recovers
+
+    async def main():
+        return await svc.answer_query(dict(QUERY))
+
+    answer = asyncio.run(main())
+    assert answer["ok"] and answer["hit"]
+    assert svc.metrics.io_errors == 2
+    assert svc.degraded_cause is None  # the clean read cleared it
+    assert svc.state()[0] == "ok"
+
+
+def test_dead_store_degrades_to_503_and_reports_cause(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    flaky = FlakyStore(store)
+    svc = QueryService(flaky, CountingExecutor(store))
+    flaky.fail_reads = 10**9  # never recovers
+
+    async def main():
+        return await svc.answer_query(dict(QUERY))
+
+    answer = asyncio.run(main())
+    assert not answer["ok"] and answer["status"] == 503
+    state, cause = svc.state()
+    assert state == "degraded" and "store I/O failing" in cause
+
+
+def test_max_inflight_must_be_positive(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    try:
+        QueryService(store, CountingExecutor(store), max_inflight=0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("max_inflight=0 accepted")
+
+
+def test_http_overload_sheds_with_503_and_retry_after(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = StallingExecutor(store)
+
+    async def main():
+        handle = await start_service(store, executor, max_inflight=1)
+        try:
+            blocker = asyncio.create_task(
+                _request(handle, "POST", "/query", {"queries": [dict(QUERY)]})
+            )
+            while handle.service.active < 1:
+                await asyncio.sleep(0.005)
+            status, doc = await _request(
+                handle, "POST", "/query", {"queries": [dict(QUERY)]}
+            )
+            assert status == 503
+            assert doc["retry_after_s"] == 1
+            assert "overloaded" in doc["error"]
+            assert handle.metrics.shed == 1
+            executor.release.set()
+            status, doc = await blocker
+            assert status == 200 and doc["answers"][0]["ok"]
+            # healthz stayed reachable and honest throughout
+            status, health = await _request(handle, "GET", "/healthz")
+            assert status == 200 and health["state"] == "ok"
+        finally:
+            executor.release.set()
+            await handle.close()
+        return True
+
+    assert asyncio.run(main())
+
+
+def test_http_healthz_reports_degraded_and_draining(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = CountingExecutor(store)
+
+    async def main():
+        handle = await start_service(store, executor)
+        try:
+            handle.service.degraded_cause = "store I/O failing: disk on fire"
+            status, health = await _request(handle, "GET", "/healthz")
+            assert status == 200  # the prober wants the diagnosis
+            assert health["state"] == "degraded" and not health["ok"]
+            assert "disk on fire" in health["cause"]
+
+            handle.service.degraded_cause = None
+            handle.service.draining = True
+            status, health = await _request(handle, "GET", "/healthz")
+            assert health["state"] == "draining" and not health["ok"]
+            status, doc = await _request(
+                handle, "POST", "/query", {"queries": [dict(QUERY)]}
+            )
+            assert status == 503 and "draining" in doc["error"]
+        finally:
+            handle.service.draining = False
+            await handle.close()
+        return True
+
+    assert asyncio.run(main())
+
+
+def test_drain_finishes_inflight_work(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = StallingExecutor(store)
+
+    async def main():
+        handle = await start_service(store, executor)
+        inflight = asyncio.create_task(
+            _request(handle, "POST", "/query", {"queries": [dict(QUERY)]})
+        )
+        while handle.service.active < 1:
+            await asyncio.sleep(0.005)
+        executor.release.set()
+        drained = await handle.drain(grace=10.0)
+        assert drained is True
+        status, doc = await inflight  # the in-flight query was not cut
+        assert status == 200 and doc["answers"][0]["ok"]
+        return True
+
+    assert asyncio.run(main())
+
+
+def test_drain_gives_up_after_grace(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    executor = StallingExecutor(store)
+
+    async def release_later(delay):
+        await asyncio.sleep(delay)
+        executor.release.set()
+
+    async def main():
+        handle = await start_service(store, executor)
+        inflight = asyncio.create_task(
+            _request(handle, "POST", "/query", {"queries": [dict(QUERY)]})
+        )
+        while handle.service.active < 1:
+            await asyncio.sleep(0.005)
+        releaser = asyncio.create_task(release_later(0.3))
+        drained = await handle.drain(grace=0.05)  # expires before release
+        assert drained is False
+        await releaser
+        status, doc = await inflight
+        assert status == 200  # still answered, just after the deadline
+        return True
+
+    assert asyncio.run(main())
