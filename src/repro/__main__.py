@@ -273,6 +273,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 "(default: <store>/queue)"
             ),
         )
+        p.add_argument(
+            "--obs-log",
+            default=None,
+            metavar="FILE",
+            help=(
+                "enable repro.obs: correlated JSONL events + spans into "
+                "FILE, one cid per cell (default: off, zero overhead)"
+            ),
+        )
     cstatus = csub.add_parser("status", help="summarize a campaign ledger")
     cstatus.add_argument("--ledger", required=True)
 
@@ -326,6 +335,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 type=float,
                 default=None,
                 help="seconds before an unrenewed lease is reclaimable",
+            )
+            sp.add_argument(
+                "--obs-log",
+                default=None,
+                metavar="FILE",
+                help=(
+                    "enable repro.obs: worker claim/publish events + sim "
+                    "spans into FILE (default: off, zero overhead)"
+                ),
             )
 
     serve = sub.add_parser(
@@ -385,6 +403,47 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds SIGTERM waits for in-flight queries before closing",
+    )
+    serve.add_argument(
+        "--obs-log",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable repro.obs: one correlation id per query, structured "
+            "events + cross-layer spans into FILE, Prometheus /metrics "
+            "(default: off, zero overhead)"
+        ),
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help=(
+            "observability toolkit: tail one request's correlated event "
+            "chain, roll spans up into a latency report, export Perfetto"
+        ),
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    otail = osub.add_parser(
+        "tail",
+        help="print one correlation chain (or list every cid in the log)",
+    )
+    otail.add_argument("--log", required=True, metavar="FILE")
+    otail.add_argument(
+        "--cid",
+        default=None,
+        help="correlation id to follow (default: list the cids present)",
+    )
+    oreport = osub.add_parser(
+        "report", help="span rollup: count, total/self/mean/max time per span"
+    )
+    oreport.add_argument("--log", required=True, metavar="FILE")
+    oexport = osub.add_parser(
+        "export", help="write the spans as a Perfetto-loadable Chrome trace"
+    )
+    oexport.add_argument("--log", required=True, metavar="FILE")
+    oexport.add_argument("--out", required=True, metavar="JSON")
+    oexport.add_argument(
+        "--cid", default=None, help="limit the export to one correlation id"
     )
 
     chaos = sub.add_parser(
@@ -449,6 +508,10 @@ def _campaign_main(parser: argparse.ArgumentParser, args) -> int:
         parser.error("--workers-external requires --store")
     if args.queue is not None and not args.workers_external:
         parser.error("--queue only applies with --workers-external")
+    if args.obs_log is not None:
+        from repro.obs import runtime as _obs_runtime
+
+        _obs_runtime.configure(log_path=args.obs_log)
     cells = _campaign_grid(args.grid, args.scale, kernel=args.kernel)
 
     if args.workers_external:
@@ -514,6 +577,10 @@ def _store_main(args) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     # worker
+    if args.obs_log is not None:
+        from repro.obs import runtime as _obs_runtime
+
+        _obs_runtime.configure(log_path=args.obs_log)
     ttl = {"lease_ttl": args.lease_ttl} if args.lease_ttl else {}
     queue = WorkQueue(queue_root, **ttl)
     counters = run_worker(
@@ -551,10 +618,63 @@ def _serve_main(args) -> int:
                 max_inflight=args.max_inflight,
                 drain_grace=args.drain_grace,
                 ready=ready,
+                obs_log=args.obs_log,
             )
         )
     except KeyboardInterrupt:
         print("repro serve: stopped")
+    return 0
+
+
+def _obs_main(args) -> int:
+    from repro.obs.events import events_for_cid, list_cids, read_events
+    from repro.obs.spans import render_report, rollup, to_chrome_trace
+
+    events = read_events(args.log)
+
+    if args.obs_command == "tail":
+        if args.cid is None:
+            cids = list_cids(events)
+            if not cids:
+                print(f"no correlation ids in {args.log}")
+                return 1
+            print(f"{len(cids)} correlation id(s) in {args.log}:")
+            for cid in cids:
+                n = len(events_for_cid(events, cid))
+                print(f"  {cid}  ({n} events)")
+            return 0
+        chain = events_for_cid(events, args.cid)
+        if not chain:
+            print(f"no events for cid {args.cid} in {args.log}")
+            return 1
+        t0 = float(chain[0].get("t", 0.0))
+        skip = {"t", "event", "pid", "seq", "cid"}
+        for record in chain:
+            offset = float(record.get("t", t0)) - t0
+            detail = " ".join(
+                f"{k}={record[k]}"
+                for k in record
+                if k not in skip and record[k] is not None
+            )
+            print(
+                f"+{offset:9.4f}s  pid {record.get('pid', '?'):>7}  "
+                f"{str(record.get('event', '?')):<22} {detail}"
+            )
+        return 0
+
+    if args.obs_command == "report":
+        print(render_report(rollup(events)))
+        return 0
+
+    # export
+    from repro.trace.export import write_trace_doc
+
+    doc = to_chrome_trace(events, cid=args.cid)
+    write_trace_doc(doc, args.out)
+    print(
+        f"wrote {len(doc['traceEvents'])} trace events to {args.out} "
+        "(open in https://ui.perfetto.dev)"
+    )
     return 0
 
 
@@ -608,6 +728,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _store_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "obs":
+        return _obs_main(args)
     if args.command == "chaos":
         return _chaos_main(parser, args)
     if args.command == "bench":

@@ -19,22 +19,22 @@ come back as a hit with a bit-identical fingerprint — the store's dedupe
 contract measured as a throughput ratio.
 
 Since PR 9 the record is also compared against the previous committed
-record (:func:`compare_baseline`): the chaos seam threaded under every
-durable write is supposed to cost *nothing* when absent, and the
-per-kernel throughput ratio against ``BENCH_8.json`` is the receipt.  The
-ratio gates ``--check`` only when both records were taken at the same
-trip count (quick vs full), with generous bounds — shared-CI hosts are
-noisy; the gate exists to catch a forgotten debug hook (2x), not a 5%
-wobble.
+record (:func:`compare_baseline`): a seam threaded under a hot path —
+the chaos FS facade then, the ``repro.obs`` telemetry gates now — is
+supposed to cost *nothing* when disabled, and the per-kernel throughput
+ratio against ``BENCH_9.json`` is the receipt.  The ratio gates
+``--check`` only when both records were taken at the same trip count
+(quick vs full), with generous bounds — shared-CI hosts are noisy; the
+gate exists to catch a forgotten debug hook (2x), not a 5% wobble.
 
-Results land in ``BENCH_<n>.json`` (``BENCH_9.json`` for this PR), the
+Results land in ``BENCH_<n>.json`` (``BENCH_10.json`` for this PR), the
 committed perf record the CI perf-smoke job regenerates with ``--quick
 --check`` to catch regressions where the event kernel stops paying for
 itself — or where warm store reruns stop being hits.
 
 Usage::
 
-    python -m repro bench                 # full measurement, BENCH_9.json
+    python -m repro bench                 # full measurement, BENCH_10.json
     python -m repro bench --quick --check # CI smoke: fast + assertions
     python -m repro.bench --out /tmp/b.json
 """
@@ -50,10 +50,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.stats import geomean
 
 #: Identifier stamped into the payload and the default output file name.
-BENCH_ID = "BENCH_9"
+BENCH_ID = "BENCH_10"
 
 #: Previous committed record, the no-overhead baseline for this PR.
-BASELINE_ID = "BENCH_8"
+BASELINE_ID = "BENCH_9"
 
 #: Acceptable per-kernel throughput ratio (current / baseline) when the
 #: two records share a trip count.  Deliberately loose: the gate is for

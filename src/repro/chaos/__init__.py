@@ -27,6 +27,7 @@ from repro.chaos.explorer import (
     ExplorationReport,
     FleetHarness,
     OperationReport,
+    TrialTiming,
     Violation,
     explore,
     standard_operations,

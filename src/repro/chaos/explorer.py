@@ -68,6 +68,7 @@ __all__ = [
     "ExplorationReport",
     "FleetHarness",
     "OperationReport",
+    "TrialTiming",
     "Violation",
     "explore",
     "standard_operations",
@@ -152,6 +153,30 @@ class Violation:
 
 
 @dataclass
+class TrialTiming:
+    """Wall-clock cost of one crash trial (setup + run + check)."""
+
+    op: str
+    site: int
+    site_op: str
+    site_path: str
+    mode: str
+    seconds: float
+
+    def render(self) -> str:
+        where = (
+            "golden pass"
+            if self.site < 0
+            else (
+                f"crash@{self.site} ({self.site_op} "
+                f"{os.path.basename(self.site_path) or self.site_path}, "
+                f"mode={self.mode})"
+            )
+        )
+        return f"{self.seconds:8.3f}s  [{self.op}] {where}"
+
+
+@dataclass
 class OperationReport:
     """Every trial outcome for one operation."""
 
@@ -160,10 +185,15 @@ class OperationReport:
     trials: int = 0
     crashes: int = 0
     violations: List[Violation] = field(default_factory=list)
+    timings: List[TrialTiming] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def trial_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
 
 
 @dataclass
@@ -181,16 +211,27 @@ class ExplorationReport:
     def violations(self) -> List[Violation]:
         return [v for op in self.operations for v in op.violations]
 
+    def slowest(self, n: int = 5) -> List[TrialTiming]:
+        """The ``n`` most expensive crash-point trials, slowest first."""
+        timings = [t for op in self.operations for t in op.timings]
+        return sorted(timings, key=lambda t: -t.seconds)[:n]
+
     def render(self) -> str:
         lines = []
         for op in self.operations:
             status = "ok" if op.ok else f"{len(op.violations)} VIOLATION(S)"
             lines.append(
                 f"{op.name:16s} {len(op.sites):3d} sites, "
-                f"{op.trials:3d} trials, {op.crashes:3d} crashes: {status}"
+                f"{op.trials:3d} trials, {op.crashes:3d} crashes: "
+                f"{status} ({op.trial_seconds:.1f}s)"
             )
             for v in op.violations:
                 lines.append(f"  !! {v.render()}")
+        slowest = self.slowest()
+        if slowest:
+            lines.append("slowest crash-point trials:")
+            for timing in slowest:
+                lines.append(f"  {timing.render()}")
         verdict = "DRILL PASSED" if self.ok else "DRILL FAILED"
         lines.append(f"{verdict} ({self.elapsed:.1f}s)")
         return "\n".join(lines)
@@ -255,6 +296,7 @@ def explore(
 
             # Golden pass: enumerate sites, check the uncrashed invariants.
             golden_root = os.path.join(root, op.name, "golden")
+            trial_started = time.monotonic()
             harness, probe, crashed = _run_trial(op, golden_root, ChaosPlan())
             op_report.sites = probe.mutation_sites()
             for message in op.check(harness):
@@ -268,6 +310,16 @@ def explore(
                         message=message,
                     )
                 )
+            op_report.timings.append(
+                TrialTiming(
+                    op=op.name,
+                    site=-1,
+                    site_op="none",
+                    site_path="",
+                    mode="golden",
+                    seconds=time.monotonic() - trial_started,
+                )
+            )
             note(f"{op.name}: {len(op_report.sites)} mutation sites")
 
             for site in op_report.sites:
@@ -280,6 +332,7 @@ def explore(
                     plan = ChaosPlan(
                         crash_at=site.index, crash_torn=(mode == "torn")
                     )
+                    trial_started = time.monotonic()
                     harness, chaos, crashed = _run_trial(op, trial_root, plan)
                     if mode == "power":
                         chaos.apply_crash_loss()
@@ -296,6 +349,16 @@ def explore(
                                 message=message,
                             )
                         )
+                    op_report.timings.append(
+                        TrialTiming(
+                            op=op.name,
+                            site=site.index,
+                            site_op=site.op,
+                            site_path=site.path,
+                            mode=mode,
+                            seconds=time.monotonic() - trial_started,
+                        )
+                    )
                     shutil.rmtree(trial_root, ignore_errors=True)
             status = "ok" if op_report.ok else "FAILED"
             note(

@@ -88,6 +88,9 @@ from repro.harness.runner import (
     RunResult,
     TimedOutRun,
 )
+from repro.obs import runtime as _obs
+from repro.obs.events import new_cid
+from repro.obs.spans import span as _span
 from repro.sim.checkpoint import (
     Checkpointer,
     MachineSnapshot,
@@ -596,6 +599,7 @@ def _cell_worker(
     checkpoint_path: Optional[str] = None,
     attempt: int = 1,
     allow_resume: bool = True,
+    obs_ctx: Optional[Tuple[str, bool, Optional[str]]] = None,
 ) -> None:
     """Process entry point: run one cell attempt, send one outcome.
 
@@ -615,6 +619,17 @@ def _cell_worker(
     never leak into a later campaign.
     """
     checkpointer: Optional[Checkpointer] = None
+    # Join the campaign's shared event log so the kernel.run events and
+    # sim.run spans this attempt produces carry the cell's correlation id.
+    obs_cid: Optional[str] = None
+    if obs_ctx is not None:
+        try:
+            obs_log_path, obs_sync, obs_cid = obs_ctx
+            _obs.configure(log_path=obs_log_path, sync=obs_sync)
+            if obs_cid is not None:
+                _obs.set_cid(obs_cid)
+        except Exception:
+            obs_cid = None
     try:
         resume_from = None
         resumed_note = ""
@@ -647,21 +662,31 @@ def _cell_worker(
             signal.signal(
                 signal.SIGTERM, lambda signum, frame: checkpointer.request_preempt()
             )
-        try:
-            outcome = execute_cell(
-                cell,
-                wall_clock_budget=soft_budget,
-                checkpoint=checkpointer,
-                resume_from=resume_from,
-            )
-        except SnapshotError:
-            # The snapshot did not fit this cell (stale file from an older
-            # grid, version skew): fall back to cycle 0 rather than failing
-            # the attempt — losing a checkpoint must never lose the cell.
-            _discard_snapshots(checkpoint_path)
-            outcome = execute_cell(
-                cell, wall_clock_budget=soft_budget, checkpoint=checkpointer
-            )
+        with _span(
+            "sim.run",
+            cid=obs_cid,
+            kernel=cell.kernel,
+            benchmark=cell.benchmark,
+            attempt=attempt,
+            worker="campaign",
+        ) as sp:
+            try:
+                outcome = execute_cell(
+                    cell,
+                    wall_clock_budget=soft_budget,
+                    checkpoint=checkpointer,
+                    resume_from=resume_from,
+                )
+            except SnapshotError:
+                # The snapshot did not fit this cell (stale file from an
+                # older grid, version skew): fall back to cycle 0 rather
+                # than failing the attempt — losing a checkpoint must never
+                # lose the cell.
+                _discard_snapshots(checkpoint_path)
+                outcome = execute_cell(
+                    cell, wall_clock_budget=soft_budget, checkpoint=checkpointer
+                )
+            sp.note(ok=outcome.ok, outcome=type(outcome).__name__)
         if resumed_note and not outcome.ok:
             outcome.detail = resumed_note + (outcome.detail or "")
         if isinstance(outcome, RunResult):
@@ -814,7 +839,13 @@ class CampaignLedger:
         """
         records: List[Dict[str, object]] = []
         with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.read().split("\n")
+            text = fh.read()
+        lines = text.split("\n")
+        if lines and lines[-1]:
+            # No trailing newline: the final line's append never finished.
+            # A record only exists once its newline landed — even if the
+            # truncation happens to leave parseable JSON.
+            lines.pop()
         for line in lines:
             if not line.strip():
                 continue
@@ -1061,6 +1092,7 @@ def _spawn(
     attempt: int,
     checkpoint_dir: Optional[str] = None,
     allow_resume: bool = True,
+    obs_ctx: Optional[Tuple[str, bool, Optional[str]]] = None,
 ) -> _Running:
     ctx = multiprocessing.get_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -1079,6 +1111,7 @@ def _spawn(
             ckpt_path,
             attempt,
             allow_resume,
+            obs_ctx,
         ),
         daemon=True,
         name=f"campaign-{cell.key()}",
@@ -1219,6 +1252,31 @@ def run_campaign(
         if progress is not None:
             progress(msg)
 
+    # Observability (repro.obs): one correlation id per cell — stable
+    # across retries, so every attempt of a cell chains under one cid —
+    # plus campaign.* events and retry/attempt counters.  Every helper
+    # no-ops unless obs is configured in this process.
+    cell_cids: Dict[str, str] = {}
+
+    def cell_cid(key: str) -> Optional[str]:
+        if not _obs.active():
+            return None
+        cid = cell_cids.get(key)
+        if cid is None:
+            cid = cell_cids[key] = new_cid()
+        return cid
+
+    def obs_ctx_for(key: str) -> Optional[Tuple[str, bool, Optional[str]]]:
+        state = _obs.get_state()
+        if state is None or state.log is None:
+            return None
+        return (state.log.path, state.log.sync, cell_cid(key))
+
+    def bump(name: str, amount: int = 1, **labels: str) -> None:
+        state = _obs.get_state()
+        if state is not None:
+            state.registry.counter(name, **labels).inc(amount)
+
     report = CampaignReport()
     histories: Dict[str, CellHistory] = {}
     ledger: Optional[CampaignLedger] = None
@@ -1311,6 +1369,25 @@ def run_campaign(
                 }
             )
 
+    if _obs.active():
+        _obs.emit(
+            "campaign.start",
+            campaign=campaign_id,
+            n_cells=len(cells),
+            n_skipped=len(report.skipped),
+            n_store_hits=len(report.store_hits),
+        )
+        for cell, entry in store_hit_records:
+            bump("repro_campaign_store_hits_total")
+            _obs.emit(
+                "store.hit",
+                cid=cell_cid(cell.key()),
+                cell=cell.key(),
+                digest=entry.digest,
+                fingerprint=entry.fingerprint,
+                campaign=campaign_id,
+            )
+
     running: List[_Running] = []
     draining = False
 
@@ -1370,6 +1447,15 @@ def run_campaign(
                     provenance={"campaign": campaign_id, "attempt": attempt},
                 )
                 published = entry.digest
+                if _obs.active():
+                    _obs.emit(
+                        "store.publish",
+                        cid=cell_cids.get(key),
+                        digest=entry.digest,
+                        created=_created,
+                        fingerprint=entry.fingerprint,
+                        campaign=campaign_id,
+                    )
             except StoreError as exc:
                 # A fingerprint conflict with an existing entry is a
                 # determinism violation — surface it like a recheck
@@ -1386,6 +1472,7 @@ def run_campaign(
         if resumable and not draining:
             delay = policy.backoff(key, attempt)
             report.retries += 1
+            bump("repro_campaign_retries_total")
             note(
                 f"  retry {key} (attempt {attempt} {outcome.error_type}; "
                 f"backoff {delay:.2f}s)"
@@ -1406,6 +1493,20 @@ def run_campaign(
             if preempted:
                 state = f"preempted at cycle {outcome.cycle:.0f} (resumable)"
             note(f"  {key} {state} [{elapsed:.2f}s, attempt {attempt}]")
+        if _obs.active():
+            terminal = not (resumable and not draining)
+            status = "retry" if not terminal else ("done" if outcome.ok else "failed")
+            if terminal:
+                bump("repro_campaign_cells_total", status=status)
+            _obs.emit(
+                "campaign.cell.end",
+                cid=cell_cids.get(key),
+                cell=key,
+                attempt=attempt,
+                status=status,
+                error_type=getattr(outcome, "error_type", None),
+                elapsed_s=round(elapsed, 6),
+            )
 
     start_times: Dict[str, float] = {}
     try:
@@ -1415,6 +1516,15 @@ def run_campaign(
             while heap and len(running) < policy.jobs and heap[0][0] <= now:
                 _, _, cell, attempt = heapq.heappop(heap)
                 start_times[cell.key()] = time.monotonic()
+                if _obs.active():
+                    bump("repro_campaign_attempts_total")
+                    _obs.emit(
+                        "campaign.cell.start",
+                        cid=cell_cid(cell.key()),
+                        cell=cell.key(),
+                        attempt=attempt,
+                        kernel=cell.kernel,
+                    )
                 if ledger is not None:
                     ledger.append(
                         {
@@ -1435,6 +1545,7 @@ def run_campaign(
                         # Recheck re-runs must cover the whole run from
                         # cycle 0 — resuming would verify only the tail.
                         allow_resume=cell.key() not in golden,
+                        obs_ctx=obs_ctx_for(cell.key()),
                     )
                 )
 
@@ -1504,6 +1615,15 @@ def run_campaign(
                 }
             )
             ledger.close()
+        if _obs.active():
+            _obs.emit(
+                "campaign.end",
+                campaign=campaign_id,
+                complete=not heap and not running,
+                n_done=report.n_done,
+                n_failed=report.n_failed,
+                retries=report.retries,
+            )
     return report
 
 

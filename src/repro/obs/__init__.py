@@ -1,0 +1,85 @@
+"""repro.obs — fleet-wide telemetry (DESIGN.md §14).
+
+Three pillars, one package:
+
+* :mod:`repro.obs.registry` — the process-wide metrics registry
+  (counters, gauges, fixed-bucket histograms; Prometheus text + JSON).
+* :mod:`repro.obs.events` — the shared-FS JSONL event log with
+  correlation IDs minted per serve query / campaign cell.
+* :mod:`repro.obs.spans` — cross-layer wall-clock spans (query →
+  store lookup → dispatch wait → simulation → publish) with Perfetto
+  export and the ``repro obs report`` rollup.
+
+The gate lives in :mod:`repro.obs.runtime`: nothing is recorded until
+:func:`configure` runs, and a disabled instrumentation site costs one
+``active()`` check — the same zero-overhead contract as ``trace=`` and
+``checkpoint=``.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    events_for_cid,
+    list_cids,
+    new_cid,
+    read_events,
+)
+from repro.obs.registry import (
+    CYCLES_PER_SEC_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.runtime import (
+    ObsState,
+    active,
+    configure,
+    current_cid,
+    emit,
+    get_state,
+    reset_cid,
+    set_cid,
+    shutdown,
+)
+from repro.obs.spans import (
+    Span,
+    render_report,
+    rollup,
+    span,
+    spans_from_events,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "EventLog",
+    "events_for_cid",
+    "list_cids",
+    "new_cid",
+    "read_events",
+    "CYCLES_PER_SEC_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "ObsState",
+    "active",
+    "configure",
+    "current_cid",
+    "emit",
+    "get_state",
+    "reset_cid",
+    "set_cid",
+    "shutdown",
+    "Span",
+    "render_report",
+    "rollup",
+    "span",
+    "spans_from_events",
+    "to_chrome_trace",
+]

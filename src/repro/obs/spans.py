@@ -1,0 +1,374 @@
+"""Cross-layer spans: begin/end events, latency rollups, Perfetto export.
+
+A span is a named wall-clock interval tagged with a correlation ID —
+``serve.query`` → ``store.lookup`` → ``dispatch.wait`` → ``sim.run`` →
+``store.publish`` is the canonical chain for a served store miss.  Spans
+are recorded as paired events in the shared obs log:
+
+* ``span.begin``: ``{name, cid, span, t}``
+* ``span.end``:   ``{name, cid, span, t, dur_s, ...fields}``
+
+matched by the ``span`` id (unique per begin).  Because begin and end
+are separate appends, a crash mid-span leaves an unmatched ``begin`` —
+visible in ``repro obs tail`` as exactly what it is: a span that never
+finished.
+
+On ``end`` the duration also feeds the process registry histogram
+``repro_span_seconds{span=<name>}``, so ``/metrics`` carries the
+latency distribution of every layer without reading the log.
+
+The offline side reconstructs spans from the log: :func:`rollup`
+computes per-name count/total/self-time (self = duration minus child
+spans nested inside it on the same cid), :func:`render_report` prints
+the ``repro obs report`` breakdown table, and :func:`to_chrome_trace`
+exports one Perfetto row per correlation ID (pid 2, next to the
+cycle-domain rows of :mod:`repro.trace.export`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs import runtime
+from repro.obs.registry import LATENCY_BUCKETS_S
+
+__all__ = [
+    "span",
+    "Span",
+    "spans_from_events",
+    "rollup",
+    "render_report",
+    "to_chrome_trace",
+    "OBS_PID",
+    "SPAN_HISTOGRAM",
+]
+
+#: Chrome-trace pid for obs span rows (cycle-domain rows use 0 and 1).
+OBS_PID = 2
+
+#: Registry histogram fed by every completed span.
+SPAN_HISTOGRAM = "repro_span_seconds"
+
+
+class _NullSpan:
+    """The disabled-path span: a shared, do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def note(self, **fields: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An active span: emits begin now, end (+histogram) on exit."""
+
+    __slots__ = ("state", "name", "cid", "span_id", "fields", "_t0", "_wall0")
+
+    def __init__(self, state, name: str, cid: Optional[str], fields: Dict[str, object]):
+        self.state = state
+        self.name = name
+        self.cid = cid
+        self.span_id = os.urandom(4).hex()
+        self.fields = fields
+
+    def __enter__(self) -> "_LiveSpan":
+        self._wall0 = time.time()
+        self._t0 = time.perf_counter()
+        self.state.emit(
+            "span.begin", cid=self.cid, name=self.name, span=self.span_id, **self.fields
+        )
+        return self
+
+    def note(self, **fields: object) -> None:
+        """Attach extra fields to the eventual ``span.end`` record."""
+        self.fields.update(fields)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        end_fields = dict(self.fields)
+        if exc_type is not None:
+            end_fields.setdefault("error", exc_type.__name__)
+        self.state.emit(
+            "span.end",
+            cid=self.cid,
+            name=self.name,
+            span=self.span_id,
+            dur_s=dur,
+            **end_fields,
+        )
+        self.state.registry.histogram(
+            SPAN_HISTOGRAM,
+            "Wall-clock duration of cross-layer spans",
+            buckets=LATENCY_BUCKETS_S,
+            span=self.name,
+        ).observe(dur)
+        return False
+
+
+def span(name: str, cid: Optional[str] = None, **fields: object):
+    """Context manager timing one layer of a request.
+
+    When obs is disabled this returns a shared null object — the only
+    cost at a disabled site is this call and the ``is None`` check.
+    """
+    state = runtime.get_state()
+    if state is None:
+        return _NULL_SPAN
+    return _LiveSpan(state, name, cid, dict(fields))
+
+
+# ----------------------------------------------------------------------
+# Offline reconstruction (repro obs report / export)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """A completed (or torn) span reconstructed from the event log."""
+
+    name: str
+    cid: Optional[str]
+    span_id: str
+    pid: int
+    start: float
+    dur_s: Optional[float]  # None: begin without end (crash or in-flight)
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end(self) -> Optional[float]:
+        return None if self.dur_s is None else self.start + self.dur_s
+
+
+_SPAN_META_KEYS = {"t", "event", "pid", "seq", "cid", "name", "span", "dur_s"}
+
+
+def spans_from_events(events: Iterable[Dict[str, object]]) -> List[Span]:
+    """Pair ``span.begin``/``span.end`` records into :class:`Span` objects.
+
+    Unmatched begins become spans with ``dur_s=None``; unmatched ends
+    (their begin fell in a torn tail) are synthesized from the end
+    record alone.  Output is sorted by start time.
+    """
+    begins: Dict[str, Dict[str, object]] = {}
+    spans: List[Span] = []
+    for record in events:
+        kind = record.get("event")
+        span_id = record.get("span")
+        if not isinstance(span_id, str):
+            continue
+        if kind == "span.begin":
+            begins[span_id] = record
+        elif kind == "span.end":
+            begin = begins.pop(span_id, None)
+            start = (
+                float(begin["t"])
+                if begin is not None
+                else float(record.get("t", 0.0)) - float(record.get("dur_s", 0.0) or 0.0)
+            )
+            fields = {
+                k: v for k, v in record.items() if k not in _SPAN_META_KEYS
+            }
+            spans.append(
+                Span(
+                    name=str(record.get("name", "?")),
+                    cid=record.get("cid"),  # type: ignore[arg-type]
+                    span_id=span_id,
+                    pid=int(record.get("pid", 0)),
+                    start=start,
+                    dur_s=float(record.get("dur_s", 0.0) or 0.0),
+                    fields=fields,
+                )
+            )
+    for span_id, begin in begins.items():
+        spans.append(
+            Span(
+                name=str(begin.get("name", "?")),
+                cid=begin.get("cid"),  # type: ignore[arg-type]
+                span_id=span_id,
+                pid=int(begin.get("pid", 0)),
+                start=float(begin.get("t", 0.0)),
+                dur_s=None,
+                fields={k: v for k, v in begin.items() if k not in _SPAN_META_KEYS},
+            )
+        )
+    spans.sort(key=lambda s: (s.start, s.span_id))
+    return spans
+
+
+def _assign_self_time(spans: List[Span]) -> Dict[str, float]:
+    """Per-span-id self time: duration minus directly-nested children.
+
+    Nesting is by wall-clock interval containment within one cid — the
+    standard trace-viewer interpretation.  Spans from different
+    processes share the chain through the cid, so a worker's ``sim.run``
+    correctly eats into the serve process's ``dispatch.wait`` self time.
+    """
+    self_time: Dict[str, float] = {}
+    by_cid: Dict[Optional[str], List[Span]] = {}
+    for s in spans:
+        if s.dur_s is None:
+            continue
+        by_cid.setdefault(s.cid, []).append(s)
+    for group in by_cid.values():
+        group.sort(key=lambda s: (s.start, -(s.dur_s or 0.0)))
+        stack: List[Span] = []
+        child_time: Dict[str, float] = {}
+        for s in group:
+            while stack and (stack[-1].end or 0.0) <= s.start + 1e-12:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                if (s.end or 0.0) <= (parent.end or 0.0) + 1e-9:
+                    child_time[parent.span_id] = (
+                        child_time.get(parent.span_id, 0.0) + (s.dur_s or 0.0)
+                    )
+                    stack.append(s)
+                else:
+                    stack = [s]
+            else:
+                stack = [s]
+        for s in group:
+            own = (s.dur_s or 0.0) - child_time.get(s.span_id, 0.0)
+            self_time[s.span_id] = max(0.0, own)
+    return self_time
+
+
+def rollup(events: Iterable[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: count, total/self/max seconds, torn count."""
+    spans = spans_from_events(events)
+    self_time = _assign_self_time(spans)
+    out: Dict[str, Dict[str, float]] = {}
+    for s in spans:
+        row = out.setdefault(
+            s.name,
+            {"count": 0, "torn": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0},
+        )
+        if s.dur_s is None:
+            row["torn"] += 1
+            continue
+        row["count"] += 1
+        row["total_s"] += s.dur_s
+        row["self_s"] += self_time.get(s.span_id, s.dur_s)
+        row["max_s"] = max(row["max_s"], s.dur_s)
+    return out
+
+
+def render_report(summary: Dict[str, Dict[str, float]]) -> str:
+    """The ``repro obs report`` latency-breakdown table."""
+    if not summary:
+        return "no spans recorded"
+    header = f"{'span':<20} {'count':>6} {'total':>10} {'self':>10} {'mean':>10} {'max':>10} {'torn':>5}"
+    lines = [header, "-" * len(header)]
+    grand_self = sum(row["self_s"] for row in summary.values())
+    for name in sorted(summary, key=lambda n: -summary[n]["self_s"]):
+        row = summary[name]
+        count = int(row["count"])
+        mean = row["total_s"] / count if count else 0.0
+        lines.append(
+            f"{name:<20} {count:>6d} {row['total_s']:>9.3f}s {row['self_s']:>9.3f}s "
+            f"{mean:>9.4f}s {row['max_s']:>9.4f}s {int(row['torn']):>5d}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{'(self-time sum)':<20} {'':>6} {'':>10} {grand_self:>9.3f}s")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(
+    events: Iterable[Dict[str, object]], cid: Optional[str] = None
+) -> Dict[str, object]:
+    """Export spans as a Perfetto-loadable Chrome-trace document.
+
+    Wall-clock seconds map to trace microseconds relative to the first
+    span's start.  Rows: pid ``OBS_PID`` ("obs"), one tid per cid so
+    each request reads as its own thread lane; instant (non-span)
+    events with a cid show as instants on the same lane.
+    """
+    from repro.trace.export import chrome_trace_doc
+
+    event_list = [dict(r) for r in events]
+    if cid is not None:
+        event_list = [r for r in event_list if r.get("cid") == cid]
+    spans = spans_from_events(event_list)
+    done = [s for s in spans if s.dur_s is not None]
+    t0 = min(
+        [s.start for s in done]
+        + [float(r.get("t", 0.0)) for r in event_list if "t" in r],
+        default=0.0,
+    )
+
+    cids: List[str] = []
+    for s in spans:
+        key = s.cid or "(none)"
+        if key not in cids:
+            cids.append(key)
+    tid_of = {key: i for i, key in enumerate(cids)}
+
+    records: List[Dict[str, object]] = [
+        {"ph": "M", "name": "process_name", "pid": OBS_PID, "args": {"name": "obs"}}
+    ]
+    for key, tid in tid_of.items():
+        records.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": OBS_PID,
+                "tid": tid,
+                "args": {"name": f"cid {key}"},
+            }
+        )
+    for s in done:
+        args: Dict[str, object] = {"cid": s.cid, "pid": s.pid, **s.fields}
+        records.append(
+            {
+                "name": s.name,
+                "cat": "obs",
+                "ph": "X",
+                "ts": (s.start - t0) * 1e6,
+                "dur": (s.dur_s or 0.0) * 1e6,
+                "pid": OBS_PID,
+                "tid": tid_of.get(s.cid or "(none)", 0),
+                "args": args,
+            }
+        )
+    for r in event_list:
+        if r.get("event") in ("span.begin", "span.end"):
+            continue
+        key = r.get("cid") or "(none)"
+        if key not in tid_of:
+            tid_of[key] = len(tid_of)
+            records.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": OBS_PID,
+                    "tid": tid_of[key],
+                    "args": {"name": f"cid {key}"},
+                }
+            )
+        records.append(
+            {
+                "name": str(r.get("event")),
+                "cat": "obs",
+                "ph": "i",
+                "s": "t",
+                "ts": (float(r.get("t", t0)) - t0) * 1e6,
+                "pid": OBS_PID,
+                "tid": tid_of[key],
+                "args": {k: v for k, v in r.items() if k not in ("t", "event", "seq")},
+            }
+        )
+    return chrome_trace_doc(
+        records, source="repro.obs", unit="1us == 1e-6 s wall clock"
+    )

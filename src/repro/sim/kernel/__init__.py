@@ -34,6 +34,7 @@ from repro.sim.kernel.base import (
     available_kernels,
     create_kernel,
     kernel_class,
+    observe_run,
     register_kernel,
 )
 from repro.sim.kernel.event import EventKernel
@@ -69,5 +70,6 @@ __all__ = [
     "available_kernels",
     "create_kernel",
     "kernel_class",
+    "observe_run",
     "register_kernel",
 ]

@@ -438,3 +438,42 @@ def create_kernel(name: str, generators, **kwargs) -> SimKernel:
 def available_kernels():
     """Names of all registered kernels."""
     return sorted(_REGISTRY)
+
+
+def observe_run(kernel_name: str, stats) -> None:
+    """Fold one completed run's throughput into ``repro.obs``.
+
+    Called by :meth:`Machine.run` after stamping ``host_seconds`` — i.e.
+    once per simulation, entirely outside the stepping loop, in whatever
+    process ran the kernel (a serve pool worker, a fleet worker, the
+    campaign parent).  Observes ``simulated_cycles_per_sec`` into the
+    per-kernel registry histogram and logs a ``kernel.run`` event tagged
+    with the ambient correlation ID.  When obs is disabled the entire
+    cost is the ``get_state()`` check, preserving the kernel subsystem's
+    zero-overhead contract (``host_seconds`` itself stays out of
+    fingerprints, so none of this perturbs determinism).
+    """
+    from repro.obs import runtime as _obs
+    from repro.obs.registry import CYCLES_PER_SEC_BUCKETS
+
+    state = _obs.get_state()
+    if state is None:
+        return
+    cps = stats.simulated_cycles_per_sec
+    state.registry.histogram(
+        "repro_sim_cycles_per_sec",
+        "Simulated cycles per host second, per kernel",
+        buckets=CYCLES_PER_SEC_BUCKETS,
+        kernel=kernel_name,
+    ).observe(cps)
+    state.registry.counter(
+        "repro_sim_runs_total", "Completed simulation runs", kernel=kernel_name
+    ).inc()
+    state.emit(
+        "kernel.run",
+        cid=_obs.current_cid(),
+        kernel=kernel_name,
+        cycles=stats.cycles,
+        cycles_per_sec=round(cps, 1),
+        host_seconds=round(stats.host_seconds, 6),
+    )

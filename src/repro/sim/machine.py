@@ -31,7 +31,7 @@ from repro.mem.hierarchy import MemorySystem
 from repro.sim.config import MachineConfig
 from repro.sim.core import CoreModel
 from repro.sim.forensics import dump_channel
-from repro.sim.kernel import create_kernel
+from repro.sim.kernel import create_kernel, observe_run
 from repro.sim.program import Program
 from repro.sim.stats import RunStats
 from repro.trace.buffer import TraceBuffer
@@ -165,10 +165,16 @@ class Machine:
         )
         engine.install(self)
         engine.run()
-        return RunStats(
+        stats = RunStats(
             threads=[self.cores[i].stats for i in range(program.n_threads)],
             host_seconds=time.perf_counter() - started,
         )
+        # Host-side throughput observation (repro.obs): once per run,
+        # outside the stepping loop, no-op unless obs is configured.
+        observe_run(
+            kernel if kernel is not None else self.config.kernel, stats
+        )
+        return stats
 
 
 def run_program(

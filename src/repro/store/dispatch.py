@@ -59,6 +59,8 @@ from repro.harness.campaign import (
     execute_cell,
 )
 from repro.harness.runner import FailedRun, RunResult, TimedOutRun
+from repro.obs import runtime as _obs
+from repro.obs.spans import span as _span
 from repro.store.io import resolve_fs, write_atomic
 from repro.store.store import ResultStore, cell_digest, result_from_entry
 
@@ -124,7 +126,7 @@ class WorkQueue:
 
     # -- enqueue --------------------------------------------------------
 
-    def enqueue(self, cell: CampaignCell) -> Tuple[str, bool]:
+    def enqueue(self, cell: CampaignCell, cid: Optional[str] = None) -> Tuple[str, bool]:
         """Add one cell; returns ``(digest, created)``.  Idempotent.
 
         The pending file is the *only* record that the cell exists, and
@@ -132,6 +134,11 @@ class WorkQueue:
         starts awaiting the digest) — so the write carries the full
         directory-fsync discipline: a power loss after ``enqueue`` returns
         must never silently unqueue the cell.
+
+        ``cid`` rides along in the pending doc: it is how a serve query's
+        correlation ID crosses hosts to the worker that eventually runs
+        the cell.  It is observability-only — never part of the digest,
+        so an enqueue with a different cid still dedupes.
         """
         digest = cell_digest(cell)
         path = os.path.join(self.pending_dir, digest + ".json")
@@ -143,6 +150,8 @@ class WorkQueue:
             "spec": cell.spec(),
             "enqueued_at": self.clock(),
         }
+        if cid is not None:
+            doc["cid"] = cid
         write_atomic(
             path,
             (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"),
@@ -164,16 +173,21 @@ class WorkQueue:
             entries.append((mtime, name[: -len(".json")]))
         return [digest for _, digest in sorted(entries)]
 
-    def load_cell(self, digest: str) -> CampaignCell:
-        """Rebuild the queued cell's spec (from pending or failed)."""
+    def load_doc(self, digest: str) -> Dict[str, object]:
+        """The queued cell's full pending/failed doc (spec + cid + times)."""
         for d in (self.pending_dir, self.failed_dir):
             path = os.path.join(d, digest + ".json")
             try:
                 doc = json.loads(self.fs.read_bytes(path).decode("utf-8"))
             except (OSError, ValueError):
                 continue
-            return CampaignCell.from_spec(doc["spec"])
+            if isinstance(doc, dict) and "spec" in doc:
+                return doc
         raise KeyError(f"digest {digest[:16]} not queued")
+
+    def load_cell(self, digest: str) -> CampaignCell:
+        """Rebuild the queued cell's spec (from pending or failed)."""
+        return CampaignCell.from_spec(self.load_doc(digest)["spec"])
 
     # -- leases ---------------------------------------------------------
 
@@ -246,6 +260,17 @@ class WorkQueue:
             self.fs.unlink(tombstone)
         except OSError:
             pass
+        state = _obs.get_state()
+        if state is not None:
+            state.registry.counter(
+                "repro_dispatch_lease_reclaims_total",
+                "Stale leases broken by this process",
+            ).inc()
+            state.emit(
+                "dispatch.lease_reclaimed",
+                digest=digest,
+                holder=(doc or {}).get("worker"),
+            )
         return True
 
     def claim(self, worker: Optional[str] = None) -> Optional[Lease]:
@@ -407,17 +432,41 @@ class _HeartbeatThread(threading.Thread):
                 self.queue.heartbeat(self.lease)
             except LeaseLostError:
                 self.lost.set()
+                self._observe_fence("lease_lost")
                 return
             except OSError:
                 # A single hiccup is absorbed by the TTL; a run of them
                 # longer than the TTL means the lease has gone stale on
                 # disk and anyone may have reclaimed it — fence ourselves.
                 self.io_failures += 1
+                state = _obs.get_state()
+                if state is not None:
+                    state.registry.counter(
+                        "repro_dispatch_heartbeat_io_failures_total",
+                        "Heartbeat renewals that errored (absorbed by the TTL)",
+                    ).inc()
                 if self.queue.clock() - self._last_ok > self.queue.lease_ttl:
                     self.lost.set()
+                    self._observe_fence("io_stale")
                     return
                 continue
             self._last_ok = self.queue.clock()
+
+    def _observe_fence(self, reason: str) -> None:
+        state = _obs.get_state()
+        if state is not None:
+            state.registry.counter(
+                "repro_dispatch_heartbeat_fences_total",
+                "Workers self-fenced after losing their lease",
+                reason=reason,
+            ).inc()
+            state.emit(
+                "dispatch.heartbeat_fenced",
+                digest=self.lease.digest,
+                worker=self.lease.worker,
+                reason=reason,
+                io_failures=self.io_failures,
+            )
 
     def stop(self) -> None:
         self._halt.set()
@@ -461,6 +510,16 @@ def run_worker(
         "io_errors": 0,
     }
 
+    def bump(name: str) -> None:
+        # The dict is the return contract; the registry mirror is what a
+        # scrape (or an obs snapshot dump) sees while the loop is live.
+        counters[name] += 1
+        state = _obs.get_state()
+        if state is not None:
+            state.registry.counter(
+                f"repro_worker_{name}_total", "run_worker outcome counter"
+            ).inc()
+
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
@@ -474,18 +533,39 @@ def run_worker(
                 break
             sleep(poll)  # everything pending is leased elsewhere; wait
             continue
+        cid: Optional[str] = None
+        doc: Optional[Dict[str, object]] = None
+        if _obs.active():
+            # Eager doc read only when observing: the cid travels in the
+            # pending doc and the claim event should carry it.  Disabled,
+            # the store-hit path keeps its seed-era zero-read shape.
+            try:
+                doc = queue.load_doc(lease.digest)
+                raw_cid = doc.get("cid")
+                cid = raw_cid if isinstance(raw_cid, str) else None
+            except KeyError:
+                doc = None
+            _obs.emit(
+                "worker.claim", cid=cid, digest=lease.digest, worker=worker_id
+            )
         if store.contains(lease.digest):
             # Published by someone else (or a prior campaign) after it was
             # enqueued: completing without running IS the dedupe.
-            counters["store_hits"] += 1
+            bump("store_hits")
             queue.complete(lease)
+            if _obs.active():
+                _obs.emit(
+                    "worker.store_hit", cid=cid, digest=lease.digest, worker=worker_id
+                )
             note(f"[{worker_id}] {lease.digest[:16]} already stored; completed")
             continue
-        try:
-            cell = queue.load_cell(lease.digest)
-        except KeyError:
-            queue.release(lease)
-            continue
+        if doc is None:
+            try:
+                doc = queue.load_doc(lease.digest)
+            except KeyError:
+                queue.release(lease)
+                continue
+        cell = CampaignCell.from_spec(doc["spec"])
         beat = _HeartbeatThread(queue, lease, heartbeat_every)
         beat.start()
 
@@ -497,46 +577,78 @@ def run_worker(
                 return f"lease on {lease.digest[:16]} lost (fenced heartbeat)"
             return None
 
+        cid_token = _obs.set_cid(cid) if cid is not None else None
         try:
-            outcome = execute_cell(
-                cell, wall_clock_budget=wall_clock_budget, abort=fence
-            )
+            with _span(
+                "sim.run",
+                cid=cid,
+                kernel=cell.kernel,
+                benchmark=cell.benchmark,
+                worker=worker_id,
+            ):
+                outcome = execute_cell(
+                    cell, wall_clock_budget=wall_clock_budget, abort=fence
+                )
         finally:
+            if cid_token is not None:
+                _obs.reset_cid(cid_token)
             beat.stop()
             beat.join(timeout=heartbeat_every + 1.0)
         if beat.lost.is_set():
-            counters["lease_lost"] += 1
+            bump("lease_lost")
             note(f"[{worker_id}] lease lost on {lease.digest[:16]}; discarding")
             continue
         if isinstance(outcome, RunResult):
             try:
-                store.put(
-                    cell,
-                    outcome,
-                    provenance={"campaign": "queue", "worker": worker_id, "attempt": 1},
-                )
+                with _span("store.publish", cid=cid, digest=lease.digest[:16]):
+                    store.put(
+                        cell,
+                        outcome,
+                        provenance={
+                            "campaign": "queue",
+                            "worker": worker_id,
+                            "attempt": 1,
+                        },
+                    )
             except OSError as exc:
                 # Publish failed (ENOSPC, EIO, mount hiccup): the result is
                 # *not* acknowledged, so give the cell back for any worker
                 # — possibly this one, next claim — to retry.
                 queue.release(lease)
-                counters["io_errors"] += 1
-                counters["released"] += 1
+                bump("io_errors")
+                bump("released")
                 note(f"[{worker_id}] publish failed for {cell.key()}: {exc}; released")
                 continue
             queue.complete(lease)
-            counters["ran"] += 1
+            bump("ran")
+            if _obs.active():
+                _obs.emit(
+                    "store.publish",
+                    cid=cid,
+                    digest=lease.digest,
+                    worker=worker_id,
+                    cycles=outcome.cycles,
+                    fingerprint=outcome.fingerprint(),
+                )
             note(
                 f"[{worker_id}] ran {cell.key()} "
                 f"({outcome.cycles} cycles, fp {outcome.fingerprint()})"
             )
         elif isinstance(outcome, TimedOutRun):
             queue.release(lease)
-            counters["released"] += 1
+            bump("released")
             note(f"[{worker_id}] released {cell.key()} after timeout")
         else:
             queue.fail(lease, outcome)
-            counters["failed"] += 1
+            bump("failed")
+            if _obs.active():
+                _obs.emit(
+                    "worker.failed",
+                    cid=cid,
+                    digest=lease.digest,
+                    worker=worker_id,
+                    error_type=outcome.error_type,
+                )
             note(f"[{worker_id}] failed {cell.key()}: {outcome.error_type}")
     return counters
 

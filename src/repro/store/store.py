@@ -51,6 +51,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.harness.campaign import LEDGER_SCHEMA_VERSION, CampaignCell
 from repro.harness.runner import RunResult
+from repro.obs import runtime as _obs
 from repro.sim.stats import COMPONENTS, RunStats, ThreadStats
 from repro.store.io import TMP_MARKER, resolve_fs, write_atomic
 
@@ -486,6 +487,16 @@ class ResultStore:
             n += 1
             target = f"{path}{QUARANTINE_SUFFIX}.{n}"
         self.fs.replace(path, target)
+        state = _obs.get_state()
+        if state is not None:
+            # Corruption is the store's highest-signal event: count it and
+            # log the evidence path so a fleet operator sees it without
+            # grepping worker stderr.
+            state.registry.counter(
+                "repro_store_quarantines_total",
+                "Corrupt entries moved aside for forensics",
+            ).inc()
+            state.emit("store.quarantine", path=path, evidence=target)
         return target
 
     # -- maintenance ----------------------------------------------------

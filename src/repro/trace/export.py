@@ -89,16 +89,39 @@ def _metadata(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
     return meta
 
 
+def chrome_trace_doc(
+    records: List[Dict[str, object]],
+    source: str = "repro.trace",
+    unit: str = "1us == 1 CPU cycle",
+) -> Dict[str, object]:
+    """Wrap raw Chrome-trace records in the standard document envelope.
+
+    Shared by the cycle-domain trace exporter below and the wall-clock
+    span exporter in :mod:`repro.obs.spans` — both produce Perfetto
+    -loadable JSON through this one envelope.
+    """
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": source, "unit": unit},
+    }
+
+
+def write_trace_doc(doc: Dict[str, object], path_or_file: Union[str, IO[str]]) -> None:
+    """Write a Chrome-trace document to a path or file object."""
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+        return
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
 def to_chrome_trace(trace) -> Dict[str, object]:
     """Render a trace (buffer or event list) as a Chrome-trace JSON object."""
     events = list(trace)
     records = _metadata(events)
     records.extend(_chrome_event(ev) for ev in events)
-    return {
-        "traceEvents": records,
-        "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.trace", "unit": "1us == 1 CPU cycle"},
-    }
+    return chrome_trace_doc(records)
 
 
 def write_chrome_trace(trace, path_or_file: Union[str, IO[str]]) -> None:
@@ -106,12 +129,7 @@ def write_chrome_trace(trace, path_or_file: Union[str, IO[str]]) -> None:
 
     The output loads directly in ``chrome://tracing`` or Perfetto.
     """
-    doc = to_chrome_trace(trace)
-    if hasattr(path_or_file, "write"):
-        json.dump(doc, path_or_file)
-        return
-    with open(path_or_file, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh)
+    write_trace_doc(to_chrome_trace(trace), path_or_file)
 
 
 def write_csv(trace, path_or_file: Union[str, IO[str]]) -> None:

@@ -1,0 +1,178 @@
+"""The correlated JSONL event log: append discipline, torn-tail reads.
+
+The log follows the campaign ledger's proven write discipline (one
+``O_APPEND`` write per full line), so the tests hold it to the same
+standards: concurrent interleaving at line granularity, a torn tail
+never poisons the reader, and correlation filtering reconstructs one
+request's story from a mixed multi-process stream.
+"""
+
+import json
+import os
+
+from repro.obs.events import (
+    EventLog,
+    events_for_cid,
+    list_cids,
+    new_cid,
+    read_events,
+)
+
+
+def test_new_cid_shape_and_uniqueness():
+    cids = {new_cid() for _ in range(256)}
+    assert len(cids) == 256
+    assert all(len(c) == 12 and int(c, 16) >= 0 for c in cids)
+
+
+def test_emit_and_read_roundtrip(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    with EventLog(path) as log:
+        log.emit("serve.start", port=1234)
+        log.emit("store.hit", cid="abc123", digest="d" * 64)
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["serve.start", "store.hit"]
+    assert events[0]["port"] == 1234
+    assert events[1]["cid"] == "abc123"
+    assert all("t" in e and "pid" in e and "seq" in e for e in events)
+
+
+def test_none_fields_are_dropped(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    with EventLog(path) as log:
+        record = log.emit("x", cid=None, maybe=None, real=1)
+    assert "cid" not in record and "maybe" not in record
+    assert read_events(path)[0]["real"] == 1
+
+
+def test_torn_tail_is_skipped(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    with EventLog(path) as log:
+        log.emit("a")
+        log.emit("b")
+    with open(path, "ab") as fh:
+        fh.write(b'{"event": "torn", "t": 9')  # crash mid-append
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["a", "b"]
+
+
+def test_garbage_lines_are_skipped(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    with open(path, "wb") as fh:
+        fh.write(b"not json\n")
+        fh.write(json.dumps({"event": "ok", "t": 1.0}).encode() + b"\n")
+        fh.write(b'["a", "list"]\n')  # json but not an event dict
+    assert [e["event"] for e in read_events(path)] == ["ok"]
+
+
+def test_missing_log_reads_empty(tmp_path):
+    assert read_events(str(tmp_path / "nope.jsonl")) == []
+
+
+def test_events_sorted_across_writers(tmp_path):
+    """Interleaved multi-process appends come back as one timeline."""
+    path = str(tmp_path / "obs.jsonl")
+    with open(path, "wb") as fh:
+        for t, pid, seq in ((3.0, 9, 1), (1.0, 7, 2), (1.0, 7, 1), (2.0, 8, 1)):
+            fh.write(
+                json.dumps({"event": "e", "t": t, "pid": pid, "seq": seq}).encode()
+                + b"\n"
+            )
+    order = [(e["t"], e["pid"], e["seq"]) for e in read_events(path)]
+    assert order == sorted(order)
+
+
+def test_cid_filter_and_listing(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    with EventLog(path) as log:
+        log.emit("serve.miss", cid="aaa")
+        log.emit("dispatch.enqueue", cid="aaa")
+        log.emit("serve.hit", cid="bbb")
+        log.emit("serve.start")  # no cid: infrastructure event
+    events = read_events(path)
+    assert [e["event"] for e in events_for_cid(events, "aaa")] == [
+        "serve.miss",
+        "dispatch.enqueue",
+    ]
+    assert list_cids(events) == ["aaa", "bbb"]
+
+
+def test_concurrent_threads_one_line_per_event(tmp_path):
+    import threading
+
+    path = str(tmp_path / "obs.jsonl")
+    log = EventLog(path)
+
+    def hammer(tid):
+        for i in range(200):
+            log.emit("tick", tid=tid, i=i)
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    log.close()
+    events = read_events(path)
+    assert len(events) == 800
+    # seq is strictly monotone for the single shared (pid, log)
+    seqs = [e["seq"] for e in events]
+    assert sorted(seqs) == list(range(1, 801))
+
+
+def test_forked_child_takes_fresh_identity(tmp_path):
+    """A forked worker inheriting the log must re-stamp pid and seq."""
+    import multiprocessing
+
+    path = str(tmp_path / "obs.jsonl")
+    log = EventLog(path)
+    log.emit("parent")
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=log.emit, args=("child",))
+    proc.start()
+    proc.join()
+    assert proc.exitcode == 0
+    log.emit("parent-again")
+    log.close()
+
+    by_event = {e["event"]: e for e in read_events(path)}
+    assert by_event["child"]["pid"] != by_event["parent"]["pid"]
+    assert by_event["child"]["seq"] == 1  # fresh counter in the child
+    assert by_event["parent-again"]["seq"] == 2  # parent's counter unaffected
+
+
+def test_emit_survives_io_failure(tmp_path):
+    """A sick disk drops events; it never raises into the serving path."""
+
+    class SickFS:
+        def __init__(self):
+            self.sick = False
+
+        def open(self, path, flags, mode=0o644):
+            return os.open(path, flags, mode)
+
+        def write(self, fd, data):
+            if self.sick:
+                raise OSError("boom")
+            return os.write(fd, data)
+
+        def fsync(self, fd):
+            os.fsync(fd)
+
+        def close(self, fd):
+            os.close(fd)
+
+        def makedirs(self, path, exist_ok=False):
+            os.makedirs(path, exist_ok=exist_ok)
+
+    fs = SickFS()
+    path = str(tmp_path / "obs.jsonl")
+    log = EventLog(path, fs=fs)
+    log.emit("before")
+    fs.sick = True
+    log.emit("dropped")  # must not raise
+    fs.sick = False
+    log.emit("after")  # fd healed on reopen
+    log.close()
+    assert [e["event"] for e in read_events(path)] == ["before", "after"]

@@ -1,0 +1,160 @@
+"""Cross-layer spans: pairing, self-time rollup, report, Perfetto export.
+
+The offline reconstruction is held to the trace-viewer interpretation:
+begin/end pairs matched by span id, interval containment within one cid
+defines nesting, self time is duration minus directly-nested children,
+and torn spans (a begin whose end fell in a crash) stay visible instead
+of vanishing.
+"""
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import (
+    OBS_PID,
+    SPAN_HISTOGRAM,
+    render_report,
+    rollup,
+    span,
+    spans_from_events,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def obs(tmp_path):
+    """An active obs state writing to a private log + registry."""
+    registry = MetricsRegistry()
+    state = runtime.configure(
+        log_path=str(tmp_path / "obs.jsonl"), registry=registry
+    )
+    yield state
+    runtime.shutdown()
+
+
+def _events(path):
+    from repro.obs.events import read_events
+
+    return read_events(str(path))
+
+
+def test_span_disabled_is_shared_null_object():
+    runtime.shutdown()
+    a = span("serve.query")
+    b = span("sim.run", cid="x", anything=1)
+    assert a is b  # one shared instance: zero allocation when disabled
+    with a as s:
+        s.note(ignored=True)  # all no-ops
+
+
+def test_span_emits_paired_events_and_histogram(obs, tmp_path):
+    with span("serve.query", cid="abc", benchmark="wc") as s:
+        s.note(ok=True)
+    events = _events(tmp_path / "obs.jsonl")
+    assert [e["event"] for e in events] == ["span.begin", "span.end"]
+    begin, end = events
+    assert begin["span"] == end["span"]
+    assert begin["cid"] == end["cid"] == "abc"
+    assert end["dur_s"] >= 0 and end["ok"] is True
+    hist = obs.registry.histogram(SPAN_HISTOGRAM, span="serve.query")
+    assert hist.snapshot()["count"] == 1
+
+
+def test_span_records_error_class_on_exception(obs, tmp_path):
+    with pytest.raises(ValueError):
+        with span("store.lookup", cid="abc"):
+            raise ValueError("boom")
+    end = _events(tmp_path / "obs.jsonl")[-1]
+    assert end["event"] == "span.end" and end["error"] == "ValueError"
+
+
+def test_spans_from_events_pairs_and_torn(obs, tmp_path):
+    with span("serve.query", cid="q1"):
+        pass
+    # a torn span: begin without end (simulates a crash mid-simulation)
+    obs.emit("span.begin", cid="q2", name="sim.run", span="deadbeef")
+    spans = spans_from_events(_events(tmp_path / "obs.jsonl"))
+    by_name = {s.name: s for s in spans}
+    assert by_name["serve.query"].dur_s is not None
+    assert by_name["sim.run"].dur_s is None  # torn, still visible
+    assert by_name["sim.run"].cid == "q2"
+
+
+def test_unmatched_end_is_synthesized():
+    events = [
+        {"event": "span.end", "t": 10.0, "pid": 1, "seq": 1, "cid": "c",
+         "name": "sim.run", "span": "feed", "dur_s": 2.0},
+    ]
+    (s,) = spans_from_events(events)
+    assert s.start == 8.0 and s.dur_s == 2.0  # begin fell in a torn tail
+
+
+def _chain(cid="c", base=100.0):
+    """A synthetic serve-miss chain with known nesting and durations."""
+    mk = lambda ev, t, name, sid, dur=None: {
+        "event": ev, "t": t, "pid": 1, "seq": 1, "cid": cid,
+        "name": name, "span": sid,
+        **({"dur_s": dur} if dur is not None else {}),
+    }
+    return [
+        mk("span.begin", base + 0.0, "serve.query", "s1"),
+        mk("span.begin", base + 0.1, "dispatch.wait", "s2"),
+        mk("span.begin", base + 0.2, "sim.run", "s3"),
+        mk("span.end", base + 0.8, "sim.run", "s3", 0.6),
+        mk("span.end", base + 0.9, "dispatch.wait", "s2", 0.8),
+        mk("span.end", base + 1.0, "serve.query", "s1", 1.0),
+    ]
+
+
+def test_rollup_self_time_subtracts_nested_children():
+    summary = rollup(_chain())
+    assert summary["sim.run"]["self_s"] == pytest.approx(0.6)
+    assert summary["dispatch.wait"]["self_s"] == pytest.approx(0.2)  # 0.8 - 0.6
+    assert summary["serve.query"]["self_s"] == pytest.approx(0.2)  # 1.0 - 0.8
+    total_self = sum(r["self_s"] for r in summary.values())
+    assert total_self == pytest.approx(1.0)  # self times partition the root
+
+
+def test_rollup_does_not_nest_across_cids():
+    events = _chain(cid="a") + _chain(cid="b")
+    summary = rollup(events)
+    assert summary["serve.query"]["count"] == 2
+    assert summary["serve.query"]["self_s"] == pytest.approx(0.4)
+
+
+def test_render_report_table():
+    text = render_report(rollup(_chain()))
+    lines = text.splitlines()
+    assert lines[0].split()[:3] == ["span", "count", "total"]
+    # sorted by self time: sim.run (0.6) leads
+    assert lines[2].startswith("sim.run")
+    assert "(self-time sum)" in lines[-1]
+    assert render_report({}) == "no spans recorded"
+
+
+def test_to_chrome_trace_layout():
+    doc = to_chrome_trace(_chain() + [
+        {"event": "store.publish", "t": 101.05, "pid": 7, "seq": 9, "cid": "c"},
+    ])
+    events = doc["traceEvents"]
+    assert doc["otherData"]["source"] == "repro.obs"
+    slices = [e for e in events if e.get("ph") == "X"]
+    assert {e["name"] for e in slices} == {
+        "serve.query", "dispatch.wait", "sim.run"
+    }
+    assert all(e["pid"] == OBS_PID for e in slices)
+    root = next(e for e in slices if e["name"] == "serve.query")
+    assert root["ts"] == pytest.approx(0.0) and root["dur"] == pytest.approx(1e6)
+    instants = [e for e in events if e.get("ph") == "i"]
+    assert [e["name"] for e in instants] == ["store.publish"]
+    # everything on the same cid shares one thread lane
+    tids = {e["tid"] for e in slices + instants}
+    assert len(tids) == 1
+
+
+def test_to_chrome_trace_cid_filter():
+    doc = to_chrome_trace(_chain(cid="a") + _chain(cid="b"), cid="a")
+    slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert len(slices) == 3
+    assert all(e["args"]["cid"] == "a" for e in slices)

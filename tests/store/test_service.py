@@ -226,7 +226,7 @@ def test_http_query_healthz_metrics(tmp_path):
         assert len(executor.calls) == 1
         assert sum(1 for a in doc["answers"] if a.get("coalesced")) == 1
 
-        status, metrics = await _request(handle, "GET", "/metrics")
+        status, metrics = await _request(handle, "GET", "/metrics.json")
         assert status == 200
         assert metrics["serve"]["queries"] == 3
         assert metrics["serve"]["hits"] == 1
@@ -501,3 +501,121 @@ def test_drain_gives_up_after_grace(tmp_path):
         return True
 
     assert asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Metrics registry surface (repro.obs)
+# ----------------------------------------------------------------------
+
+
+async def _request_text(handle, method, path):
+    """Raw variant of ``_request`` for non-JSON responses (/metrics)."""
+    reader, writer = await asyncio.open_connection(handle.host, handle.port)
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout=60)
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return status, head.decode(), body.decode()
+
+
+def test_http_metrics_prometheus_text(tmp_path):
+    run, _executor = _serve(tmp_path, seed_cells=[CELL])
+
+    async def scenario(handle):
+        status, doc = await _request(
+            handle, "POST", "/query", {"queries": [dict(QUERY)]}
+        )
+        assert status == 200 and doc["ok"]
+        status, head, body = await _request_text(handle, "GET", "/metrics")
+        assert status == 200
+        assert "text/plain; version=0.0.4" in head
+        lines = body.splitlines()
+        samples = [ln for ln in lines if ln and not ln.startswith("#")]
+        assert any(
+            ln.startswith("repro_serve_queries_total") and ln.endswith(" 1")
+            for ln in samples
+        )
+        assert any(ln.startswith("repro_serve_hits_total") for ln in samples)
+        # Histogram exposition: cumulative buckets, +Inf, _sum/_count.
+        buckets = [
+            ln
+            for ln in samples
+            if ln.startswith("repro_serve_query_latency_seconds_bucket")
+        ]
+        assert buckets and 'le="+Inf"' in buckets[-1]
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in buckets]
+        assert counts == sorted(counts) and counts[-1] == 1
+        assert any(
+            ln.startswith("repro_serve_query_latency_seconds_count") and
+            ln.endswith(" 1")
+            for ln in samples
+        )
+        # TYPE headers render once per family.
+        types = [ln for ln in lines if ln.startswith("# TYPE ")]
+        assert len(types) == len({ln.split()[2] for ln in types})
+        # Scrape-time gauges cover the executor and the store.
+        assert any(ln.startswith("repro_store_entries") for ln in samples)
+        return True
+
+    assert asyncio.run(run(scenario))
+
+
+def test_observe_latency_zero_duration_lands_in_first_bucket():
+    metrics = ServeMetrics()
+    metrics.observe_latency(0.0)
+    snap = metrics.latency.snapshot()
+    assert snap["count"] == 1
+    assert snap["buckets"][0]["count"] == 1  # cumulative: first holds it
+    assert snap["max"] == 0.0
+    assert metrics.snapshot()["latency_max_ms"] == 0.0
+
+
+def test_observe_latency_beyond_largest_bucket_is_inf_only():
+    metrics = ServeMetrics()
+    metrics.observe_latency(1e6)  # way past the 30s top bucket
+    snap = metrics.latency.snapshot()
+    finite = snap["buckets"][:-1]
+    inf = snap["buckets"][-1]
+    assert all(b["count"] == 0 for b in finite)
+    assert inf["le"] == "+Inf" and inf["count"] == 1
+    assert snap["sum"] == 1e6 and snap["max"] == 1e6
+
+
+def test_latency_snapshot_stable_under_concurrent_updates():
+    import threading
+
+    metrics = ServeMetrics()
+    threads, per_thread = 8, 500
+    stop = threading.Event()
+    bad = []
+
+    def hammer():
+        for i in range(per_thread):
+            metrics.observe_latency((i % 40) * 0.01)
+
+    def scrape():
+        while not stop.is_set():
+            snap = metrics.latency.snapshot()
+            counts = [b["count"] for b in snap["buckets"]]
+            # Each snapshot must be internally consistent even mid-update:
+            # buckets cumulative, +Inf bucket equal to the total count.
+            if counts != sorted(counts) or counts[-1] != snap["count"]:
+                bad.append(snap)
+                return
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    scraper = threading.Thread(target=scrape)
+    scraper.start()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    stop.set()
+    scraper.join()
+    assert not bad
+    snap = metrics.latency.snapshot()
+    assert snap["count"] == threads * per_thread
+    assert snap["buckets"][-1]["count"] == threads * per_thread
+    assert int(metrics.queries) == 0  # counters untouched by latency path
